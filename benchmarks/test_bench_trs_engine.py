@@ -1,0 +1,54 @@
+"""Engine benchmark: throughput of the TRS layer driving the paper's
+System BinarySearch specification (matching + rewriting rate), and of the
+discrete-event simulator driving the executable protocol.
+
+These are honest performance benchmarks (pytest-benchmark statistics),
+complementing the figure-regeneration benches.
+"""
+
+from conftest import emit
+
+from repro.core.cluster import Cluster
+from repro.specs import system_binary_search as bs
+from repro.specs.properties import prefix_property, token_uniqueness
+from repro.workload.generators import FixedRateWorkload
+
+
+def test_trs_reduction_throughput(benchmark):
+    """Steps/second of a safety-checked random reduction (n = 5)."""
+    def run():
+        rw, init = bs.make_system(5)
+        red = rw.random_reduction(init, 150, seed=7,
+                                  weights={"1": 1.2, "2": 3.0, "5": 0.5})
+        red.check_invariant(prefix_property)
+        red.check_invariant(token_uniqueness)
+        return len(red)
+
+    steps = benchmark(run)
+    assert steps == 150
+
+
+def test_trs_reachability_search(benchmark):
+    """Bounded BFS over System Token's state space (n = 3)."""
+    from repro.specs import system_token
+
+    def run():
+        rw, init = system_token.make_system(3, ring=False)
+        return len(rw.reachable(init, max_states=300))
+
+    states = benchmark(run)
+    assert states == 300
+
+
+def test_des_event_throughput(benchmark, results_dir):
+    """Simulator events/second on a loaded 64-node binary-search cluster."""
+    def run():
+        cluster = Cluster.build("binary_search", n=64, seed=3)
+        cluster.add_workload(FixedRateWorkload(mean_interval=5.0))
+        cluster.run(rounds=40, max_events=2_000_000)
+        return cluster.messages.total
+
+    messages = benchmark(run)
+    emit(results_dir, "engine_des_throughput",
+         f"DES throughput run: {messages} messages simulated per iteration")
+    assert messages > 2500

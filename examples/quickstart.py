@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: the adaptive token-passing protocol in 30 lines.
+
+Builds a 100-node cluster for both the classic ring and the paper's
+BinarySearch protocol, applies the same light workload, and prints the
+responsiveness — the headline comparison of the paper (Figure 10's
+light-load regime: ring ≈ n/2, adaptive ≈ log n).
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+from repro import Cluster, FixedRateWorkload
+
+N = 100
+MEAN_INTERVAL = 100.0      # light load: one request per 100 time units
+ROUNDS = 300               # token circulations to simulate
+SEED = 7
+
+
+def main() -> None:
+    print(f"{N} nodes, one request per {MEAN_INTERVAL:g} time units, "
+          f"{ROUNDS} token rounds (seed {SEED})")
+    print(f"reference points: n/2 = {N // 2}, log2(n) = {math.log2(N):.2f}\n")
+
+    for protocol in ("ring", "binary_search"):
+        cluster = Cluster.build(protocol, n=N, seed=SEED)
+        cluster.add_workload(FixedRateWorkload(mean_interval=MEAN_INTERVAL))
+        cluster.run(rounds=ROUNDS)
+
+        tracker = cluster.responsiveness
+        print(f"{protocol:>14}:  "
+              f"avg responsiveness = {tracker.average_responsiveness():6.2f}   "
+              f"worst = {tracker.max_responsiveness():6.2f}   "
+              f"requests served = {tracker.grants():4d}   "
+              f"messages = {cluster.messages.total}")
+
+    print("\nThe adaptive protocol answers in O(log n) where the ring "
+          "needs O(n) — at the cost of a few cheap search messages.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The paper's methodology, executable: specifications as Term Rewriting
+Systems, refined step by step with machine-checked safety.
+
+Walks the whole refinement chain S → S1 → Token → Message-Passing →
+Search → BinarySearch on a 4-node instance: random reductions of each
+system are checked for the prefix property (Definition 2) and token
+uniqueness, and each refinement mapping (Lemmas 1–3, Theorem 1) is
+verified transition-by-transition against the coarser system.
+
+Run:  python examples/trs_refinement_demo.py
+"""
+
+from repro.specs import (
+    system_binary_search,
+    system_message_passing,
+    system_s,
+    system_s1,
+    system_search,
+    system_token,
+)
+from repro.specs.properties import prefix_property, token_uniqueness
+from repro.specs.refinement import (
+    binary_search_to_s1,
+    check_refinement,
+    mp_to_s1,
+    s1_to_s,
+    search_to_s1,
+    token_to_s1,
+)
+
+N = 4
+STEPS = 200
+
+
+def main() -> None:
+    coarse_s, _ = system_s.make_system(N)
+    coarse_s1, _ = system_s1.make_system(N)
+
+    chain = [
+        ("System S1", system_s1.make_system(N), s1_to_s, coarse_s, 1,
+         "Lemma 1", {}),
+        ("System Token", system_token.make_system(N), token_to_s1,
+         coarse_s1, 2, "Lemma 2", {}),
+        ("System Message-Passing", system_message_passing.make_system(N),
+         mp_to_s1, coarse_s1, 2, "Lemma 3", {}),
+        ("System Search", system_search.make_system(N), search_to_s1,
+         coarse_s1, 2, "(Search safety)", {"5": 0.5, "6": 0.8}),
+        ("System BinarySearch", system_binary_search.make_system(N),
+         binary_search_to_s1, coarse_s1, 2, "Theorem 1",
+         {"1": 1.5, "2": 3.0, "5": 0.6}),
+    ]
+
+    print(f"Refinement chain on {N} nodes, {STEPS}-step random reductions:\n")
+    for name, (rewriter, initial), mapping, coarse, depth, claim, weights \
+            in chain:
+        reduction = rewriter.random_reduction(
+            initial, STEPS, seed=42, weights=weights or None)
+        reduction.check_invariant(prefix_property, "prefix property")
+        has_token_field = name != "System S1"
+        if has_token_field and name != "System Token":
+            reduction.check_invariant(token_uniqueness, "token uniqueness")
+        simulated = check_refinement(reduction, mapping, coarse,
+                                     max_depth=depth)
+        fired = ", ".join(f"{r}x{c}" for r, c in
+                          sorted(reduction.rule_counts().items()))
+        print(f"  {name:<26} {len(reduction):3d} steps  "
+              f"[{fired}]")
+        print(f"  {'':26} prefix property OK; {claim} verified "
+              f"({simulated} simulated transitions, depth <= {depth})\n")
+
+    print("Every system along the chain is as safe as System S — the "
+          "paper's correctness argument, machine-checked.\n")
+
+    # A taste of the notation: the first few rewrites of BinarySearch.
+    from repro.trs.pretty import pretty_reduction
+
+    rewriter, initial = system_binary_search.make_system(3)
+    reduction = rewriter.random_reduction(initial, 4, seed=7)
+    print("First rewrites of System BinarySearch (paper notation):")
+    print(pretty_reduction(reduction, limit=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — a full reproduction of Englert, Rudolph & Shvartsman,
+"Developing and Refining an Adaptive Token-Passing Strategy" (2001).
+
+Three layers:
+
+1. :mod:`repro.trs` + :mod:`repro.specs` — the paper's methodology: the
+   six protocol specifications as executable Term Rewriting Systems, with
+   machine-checked safety (prefix property, token uniqueness) and
+   refinement mappings (Lemmas 1-3, Theorem 1).
+2. :mod:`repro.core` + :mod:`repro.sim` — the executable protocols
+   (ring baseline, linear search, the adaptive binary search, directed /
+   push / hybrid variants) over a deterministic discrete-event simulator,
+   with :mod:`repro.faults` adding regeneration and dynamic membership.
+3. :mod:`repro.apps` + :mod:`repro.aio` — mutual exclusion, totally
+   ordered broadcast, and round-robin scheduling, runnable both in
+   simulation and on asyncio.
+
+Quickstart::
+
+    from repro import Cluster, FixedRateWorkload
+
+    cluster = Cluster.build("binary_search", n=100, seed=1)
+    cluster.add_workload(FixedRateWorkload(mean_interval=10.0))
+    cluster.run(rounds=1000)
+    print(cluster.responsiveness.average_responsiveness())
+"""
+
+from repro.aio import AioCluster
+from repro.apps import RoundRobinScheduler, SimMutex, TotalOrderBroadcast
+from repro.core import (
+    BinarySearchCore,
+    Cluster,
+    DirectedSearchCore,
+    HybridCore,
+    LinearSearchCore,
+    ProtocolConfig,
+    PushCore,
+    RingCore,
+)
+from repro.faults import FaultTolerantCore, MembershipService, RingView
+from repro.metrics import (
+    FairnessAuditor,
+    MessageCounters,
+    ResponsivenessTracker,
+)
+from repro.workload import (
+    BurstyWorkload,
+    FixedRateWorkload,
+    HotspotWorkload,
+    SaturatedWorkload,
+    SingleShotWorkload,
+    UniformIntervalWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AioCluster",
+    "BinarySearchCore",
+    "BurstyWorkload",
+    "Cluster",
+    "DirectedSearchCore",
+    "FairnessAuditor",
+    "FaultTolerantCore",
+    "FixedRateWorkload",
+    "HotspotWorkload",
+    "HybridCore",
+    "LinearSearchCore",
+    "MembershipService",
+    "MessageCounters",
+    "ProtocolConfig",
+    "PushCore",
+    "ResponsivenessTracker",
+    "RingCore",
+    "RingView",
+    "RoundRobinScheduler",
+    "SaturatedWorkload",
+    "SimMutex",
+    "SingleShotWorkload",
+    "TotalOrderBroadcast",
+    "UniformIntervalWorkload",
+    "__version__",
+]

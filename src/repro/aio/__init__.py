@@ -1,0 +1,8 @@
+"""Asyncio runtime: the same sans-IO protocol cores driven in real time,
+with awaitable mutual exclusion and dynamic membership."""
+
+from repro.aio.cluster import AioCluster
+from repro.aio.driver import AioNodeDriver
+from repro.aio.transport import AioTransport
+
+__all__ = ["AioCluster", "AioNodeDriver", "AioTransport"]

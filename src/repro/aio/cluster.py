@@ -1,0 +1,194 @@
+"""Asyncio cluster: the real-time counterpart of
+:class:`repro.core.cluster.Cluster`, plus dynamic membership.
+
+Nodes run as coroutines on one event loop.  ``acquire``/``release`` give
+awaitable token access (the mutual-exclusion surface the apps build on),
+and ``join``/``leave`` exercise the paper's Section 5 dynamic-membership
+sketch: the authoritative :class:`~repro.faults.membership.MembershipService`
+versions the ring; cores adopt new views immediately (in a distributed
+deployment the view would ride :class:`~repro.core.messages.MembershipMsg`
+updates — an approximate view only degrades search performance, never
+safety, because grants are keyed by node id).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, List, Optional
+
+from repro.aio.driver import AioNodeDriver
+from repro.aio.transport import AioTransport
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError, MembershipError
+from repro.faults.membership import MembershipService, RingView
+
+__all__ = ["AioCluster"]
+
+
+class AioCluster:
+    """Asyncio-driven token-passing cluster with awaitable grants."""
+
+    def __init__(
+        self,
+        protocol: str,
+        n: int,
+        seed: int = 0,
+        config: Optional[ProtocolConfig] = None,
+        delay: float = 0.001,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        from repro.core.cluster import _registry
+
+        registry = _registry()
+        if protocol not in registry:
+            raise ConfigError(
+                f"unknown protocol {protocol!r}; choose from {sorted(registry)}"
+            )
+        self.protocol = protocol
+        self._factory = registry[protocol]
+        self.n = n
+        self.rng = random.Random(seed)
+        self.config = config if config is not None else ProtocolConfig()
+        self.config.n = n
+        self.config.hold_until_release = True
+        self.config.validate()
+        self.transport = AioTransport(delay=delay, loss_rate=loss_rate, rng=self.rng)
+        self.membership = MembershipService(range(n))
+        self.drivers: Dict[int, AioNodeDriver] = {}
+        self._grant_waiters: Dict[int, List[asyncio.Future]] = {}
+        self._grant_log: List[int] = []
+        self._next_id = n
+        self._started = False
+        for node_id in range(n):
+            self._make_driver(node_id)
+        self.membership.subscribe(self._on_view_change)
+
+    def _make_driver(self, node_id: int) -> AioNodeDriver:
+        core = self._factory(node_id, self.config)
+        core.ring = self.membership.view
+        driver = AioNodeDriver(self.transport, core)
+        driver.subscribe(self._on_app_event)
+        self.drivers[node_id] = driver
+        return driver
+
+    def _on_view_change(self, view: RingView) -> None:
+        for driver in self.drivers.values():
+            driver.core.ring = view
+
+    def _on_app_event(self, node: int, kind: str, payload: tuple, now: float) -> None:
+        if kind == "granted":
+            self._grant_log.append(node)
+            waiters = self._grant_waiters.get(node)
+            if not waiters:
+                return
+            # One grant admits exactly one waiter (FIFO).  If others are
+            # queued on the same node, re-arm the request so the core
+            # serves them on the next release.
+            future = waiters.pop(0)
+            if not waiters:
+                del self._grant_waiters[node]
+            if not future.done():
+                future.set_result(node)
+            if node in self._grant_waiters:
+                driver = self.drivers.get(node)
+                if driver is not None:
+                    driver.request()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start every node (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for driver in list(self.drivers.values()):
+            await driver.start()
+
+    async def stop(self) -> None:
+        """Stop every node."""
+        for driver in list(self.drivers.values()):
+            await driver.stop()
+        self._started = False
+
+    # -- token access ------------------------------------------------------------------
+
+    async def acquire(self, node: int, timeout: Optional[float] = None) -> None:
+        """Await the token for ``node`` (mutual-exclusion entry)."""
+        driver = self.drivers.get(node)
+        if driver is None:
+            raise MembershipError(f"node {node} is not a member")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._grant_waiters.setdefault(node, []).append(future)
+        driver.request()
+        await asyncio.wait_for(future, timeout)
+
+    def release(self, node: int) -> None:
+        """Release the token held by ``node`` (mutual-exclusion exit)."""
+        driver = self.drivers.get(node)
+        if driver is None:
+            raise MembershipError(f"node {node} is not a member")
+        driver.release()
+
+    def lock(self, node: int, timeout: Optional[float] = None):
+        """``async with cluster.lock(node):`` critical-section helper."""
+        return _Lock(self, node, timeout)
+
+    @property
+    def grant_order(self) -> List[int]:
+        """Nodes in the order they were granted the token — the cluster's
+        total order (used by the broadcast app)."""
+        return list(self._grant_log)
+
+    # -- membership ------------------------------------------------------------------------
+
+    async def join(self, sponsor: Optional[int] = None) -> int:
+        """Add a fresh node to the ring; returns its id."""
+        node_id = self._next_id
+        self._next_id += 1
+        # Grow the config ceiling so new ids validate; geometry itself
+        # always follows the ring view.
+        self.config.n = max(self.config.n, node_id + 1)
+        driver = self._make_driver(node_id)
+        self.membership.join(node_id, sponsor=sponsor)
+        if self._started:
+            await driver.start()
+        return node_id
+
+    async def leave(self, node: int) -> None:
+        """Remove ``node`` from the ring.  The node must not hold the token
+        (wait for quiescence or release first)."""
+        driver = self.drivers.get(node)
+        if driver is None:
+            raise MembershipError(f"node {node} is not a member")
+        core = driver.core
+        deadline = 200
+        while (getattr(core, "has_token", False)
+               or getattr(core, "lent_to", None) is not None):
+            await asyncio.sleep(self.transport.delay)
+            deadline -= 1
+            if deadline <= 0:
+                raise MembershipError(
+                    f"node {node} still holds the token; cannot leave"
+                )
+        self.membership.leave(node)
+        await driver.stop()
+        del self.drivers[node]
+
+
+class _Lock:
+    """Async context manager for the critical section."""
+
+    def __init__(self, cluster: AioCluster, node: int, timeout: Optional[float]) -> None:
+        self._cluster = cluster
+        self._node = node
+        self._timeout = timeout
+
+    async def __aenter__(self) -> int:
+        await self._cluster.acquire(self._node, timeout=self._timeout)
+        return self._node
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        self._cluster.release(self._node)

@@ -1,0 +1,110 @@
+"""Asyncio driver for sans-IO protocol cores.
+
+Runs one core as a coroutine: messages are awaited from the transport
+inbox, timers are ``loop.call_later`` handles, and application events are
+fanned out to subscribers — the same contract as the discrete-event driver,
+so every core runs unchanged in real time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.core.base import ProtocolCore
+from repro.core.effects import CancelTimer, Deliver, Effect, Send, SetTimer, Trace
+from repro.aio.transport import AioTransport
+from repro.errors import SimulationError
+
+__all__ = ["AioNodeDriver"]
+
+
+class AioNodeDriver:
+    """Runs one protocol core on the asyncio event loop."""
+
+    def __init__(self, transport: AioTransport, core: ProtocolCore) -> None:
+        self.transport = transport
+        self.core = core
+        self.node_id = core.node_id
+        self._inbox = transport.attach(self.node_id)
+        self._timers: Dict[Hashable, asyncio.TimerHandle] = {}
+        self._subscribers: List[Callable[[int, str, tuple, float], None]] = []
+        self._task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def subscribe(self, callback: Callable[[int, str, tuple, float], None]) -> None:
+        """Register ``callback(node_id, kind, payload, now)`` for
+        application events."""
+        self._subscribers.append(callback)
+
+    async def start(self) -> None:
+        """Run the core's start handler and begin consuming the inbox."""
+        self._loop = asyncio.get_running_loop()
+        self._apply(self.core.on_start(self._now()))
+        self._task = asyncio.create_task(self._run(), name=f"node-{self.node_id}")
+
+    async def stop(self) -> None:
+        """Cancel the consumer task and all timers."""
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        self.transport.detach(self.node_id)
+
+    def request(self) -> None:
+        """The application at this node asks for the token."""
+        self._apply(self.core.on_request(self._now()))
+
+    def release(self) -> None:
+        """The application releases a held grant."""
+        self._apply(self.core.on_release(self._now()))
+
+    # -- internals -----------------------------------------------------------
+
+    def _now(self) -> float:
+        loop = self._loop or asyncio.get_event_loop()
+        return loop.time()
+
+    async def _run(self) -> None:
+        while True:
+            src, msg = await self._inbox.get()
+            self._apply(self.core.on_message(src, msg, self._now()))
+
+    def _on_timer(self, key: Hashable) -> None:
+        self._timers.pop(key, None)
+        self._apply(self.core.on_timer(key, self._now()))
+
+    def _apply(self, effects: List[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.transport.send(self.node_id, effect.dst, effect.msg)
+            elif isinstance(effect, SetTimer):
+                previous = self._timers.pop(effect.key, None)
+                if previous is not None:
+                    previous.cancel()
+                loop = self._loop or asyncio.get_event_loop()
+                self._timers[effect.key] = loop.call_later(
+                    effect.delay * self._timer_scale(), self._on_timer, effect.key
+                )
+            elif isinstance(effect, CancelTimer):
+                handle = self._timers.pop(effect.key, None)
+                if handle is not None:
+                    handle.cancel()
+            elif isinstance(effect, Deliver):
+                for callback in self._subscribers:
+                    callback(self.node_id, effect.kind, effect.payload, self._now())
+            elif isinstance(effect, Trace):
+                pass
+            else:
+                raise SimulationError(f"unknown effect {effect!r}")
+
+    def _timer_scale(self) -> float:
+        """Core timers are expressed in message-delay units; scale them to
+        the transport's real-time delay."""
+        return max(self.transport.delay, 1e-6)

@@ -1,0 +1,71 @@
+"""In-memory asyncio transport.
+
+The real-time twin of :class:`repro.sim.network.Network`: point-to-point
+messages between coroutine-driven nodes, with a configurable (real-time)
+delay and the same cheap-message loss injection.  Every node owns an inbox
+queue; ``send`` schedules the enqueue after the delay on the running event
+loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import NetworkError
+
+__all__ = ["AioTransport"]
+
+
+class AioTransport:
+    """Asyncio message bus for protocol nodes."""
+
+    def __init__(
+        self,
+        delay: float = 0.001,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if delay < 0:
+            raise NetworkError(f"delay must be >= 0, got {delay}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.delay = delay
+        self.loss_rate = loss_rate
+        self.rng = rng if rng is not None else random.Random(0)
+        self._inboxes: Dict[int, asyncio.Queue] = {}
+        self.sent_count = 0
+        self.dropped_count = 0
+        self.on_send: List[Callable[[int, int, object], None]] = []
+
+    def attach(self, node_id: int) -> asyncio.Queue:
+        """Create and return the inbox queue for ``node_id``."""
+        if node_id in self._inboxes:
+            raise NetworkError(f"node {node_id} already attached")
+        queue: asyncio.Queue = asyncio.Queue()
+        self._inboxes[node_id] = queue
+        return queue
+
+    def detach(self, node_id: int) -> None:
+        """Remove a node's inbox; in-flight messages to it are dropped."""
+        self._inboxes.pop(node_id, None)
+
+    def send(self, src: int, dst: int, msg: object) -> None:
+        """Deliver ``msg`` to ``dst`` after the transport delay."""
+        self.sent_count += 1
+        for hook in self.on_send:
+            hook(src, dst, msg)
+        if not getattr(msg, "reliable", True):
+            if self.loss_rate and self.rng.random() < self.loss_rate:
+                self.dropped_count += 1
+                return
+        loop = asyncio.get_running_loop()
+        loop.call_later(self.delay, self._deliver, src, dst, msg)
+
+    def _deliver(self, src: int, dst: int, msg: object) -> None:
+        inbox = self._inboxes.get(dst)
+        if inbox is None:
+            self.dropped_count += 1
+            return
+        inbox.put_nowait((src, msg))

@@ -1,0 +1,31 @@
+"""Experiment runners and text-table rendering for the paper's figures
+and this repo's ablations."""
+
+from repro.analysis.experiments import (
+    run_adaptive_speed_ablation,
+    run_directed_ablation,
+    run_figure9,
+    run_figure10,
+    run_gc_ablation,
+    run_protocol_once,
+    run_push_pull_ablation,
+    run_throttle_ablation,
+)
+from repro.analysis.replication import replicate, significantly_less
+from repro.analysis.tables import format_series, format_table, pivot
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "pivot",
+    "replicate",
+    "run_adaptive_speed_ablation",
+    "run_directed_ablation",
+    "run_figure9",
+    "run_figure10",
+    "run_gc_ablation",
+    "run_protocol_once",
+    "run_push_pull_ablation",
+    "run_throttle_ablation",
+    "significantly_less",
+]

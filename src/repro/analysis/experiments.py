@@ -1,0 +1,301 @@
+"""Experiment runners for the paper's figures and this repo's ablations.
+
+Each runner returns a list of result-row dicts and is shared by the
+benchmark suite (which prints the paper-style series) and the examples.
+All runners take a seed and are deterministic.
+
+Paper experiments (Section 4.3; the paper has figures only, no tables):
+
+- :func:`run_figure9` — fixed load (mean inter-request interval 10),
+  average responsiveness vs. number of processors;
+- :func:`run_figure10` — fixed n = 100, average responsiveness vs. load.
+
+Ablations (Section 4.4 design choices):
+
+- :func:`run_gc_ablation` — trap GC policy vs. storage and dummy loans;
+- :func:`run_directed_ablation` — delegated vs. directed search messages;
+- :func:`run_push_pull_ablation` — pull vs. push vs. hybrid;
+- :func:`run_throttle_ablation` — single-outstanding-request throttling;
+- :func:`run_adaptive_speed_ablation` — idle-pause vs. message overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cluster import Cluster
+from repro.core.config import GC_INVERSE, GC_NONE, GC_ROTATION, ProtocolConfig
+from repro.workload.generators import FixedRateWorkload
+
+__all__ = [
+    "run_protocol_once",
+    "run_figure9",
+    "run_figure10",
+    "run_gc_ablation",
+    "run_directed_ablation",
+    "run_push_pull_ablation",
+    "run_throttle_ablation",
+    "run_adaptive_speed_ablation",
+    "DEFAULT_FIG9_SIZES",
+    "DEFAULT_FIG10_INTERVALS",
+]
+
+#: Paper set-up: the token visited each node at least 1000 times per run.
+PAPER_ROUNDS = 1000
+
+DEFAULT_FIG9_SIZES = (8, 16, 32, 64, 128, 256)
+DEFAULT_FIG10_INTERVALS = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+
+def run_protocol_once(
+    protocol: str,
+    n: int,
+    mean_interval: float,
+    rounds: int,
+    seed: int,
+    config: Optional[ProtocolConfig] = None,
+    workload=None,
+) -> Dict[str, float]:
+    """One simulation run; returns the metrics row."""
+    cluster = Cluster.build(protocol, n=n, seed=seed, config=config)
+    if workload is None:
+        workload = FixedRateWorkload(mean_interval=mean_interval)
+    cluster.add_workload(workload)
+    cluster.run(rounds=rounds, max_events=100_000_000)
+    tracker = cluster.responsiveness
+    grants = max(tracker.grants(), 1)
+    return {
+        "protocol": protocol,
+        "n": n,
+        "mean_interval": mean_interval,
+        "rounds": cluster.rounds,
+        "grants": tracker.grants(),
+        "avg_responsiveness": tracker.average_responsiveness(),
+        "max_responsiveness": tracker.max_responsiveness(),
+        "avg_waiting": tracker.average_waiting(),
+        "messages_total": cluster.messages.total,
+        "messages_cheap": cluster.messages.cheap,
+        "messages_expensive": cluster.messages.expensive,
+        "token_passes": cluster.messages.token_passes(),
+        "search_messages": cluster.messages.search_messages(),
+        "messages_per_grant": cluster.messages.total / grants,
+        "loans": cluster.messages.count("LoanMsg"),
+    }
+
+
+def run_figure9(
+    sizes: Sequence[int] = DEFAULT_FIG9_SIZES,
+    mean_interval: float = 10.0,
+    rounds: int = PAPER_ROUNDS,
+    seed: int = 2001,
+    protocols: Sequence[str] = ("ring", "binary_search"),
+) -> List[Dict[str, float]]:
+    """Figure 9: average responsiveness vs. number of processors under a
+    fixed load of one request per ``mean_interval`` time units."""
+    rows = []
+    for n in sizes:
+        for protocol in protocols:
+            rows.append(run_protocol_once(
+                protocol, n=n, mean_interval=mean_interval,
+                rounds=rounds, seed=seed,
+            ))
+    return rows
+
+
+def run_figure10(
+    intervals: Sequence[float] = DEFAULT_FIG10_INTERVALS,
+    n: int = 100,
+    rounds: int = PAPER_ROUNDS,
+    seed: int = 2001,
+    protocols: Sequence[str] = ("ring", "binary_search"),
+) -> List[Dict[str, float]]:
+    """Figure 10: average responsiveness vs. load at fixed ``n``; the ring
+    approaches n/2 while BinarySearch approaches log n from below."""
+    rows = []
+    for interval in intervals:
+        for protocol in protocols:
+            rows.append(run_protocol_once(
+                protocol, n=n, mean_interval=float(interval),
+                rounds=rounds, seed=seed,
+            ))
+    return rows
+
+
+def run_gc_ablation(
+    n: int = 64,
+    mean_interval: float = 20.0,
+    rounds: int = 300,
+    seed: int = 2001,
+) -> List[Dict[str, float]]:
+    """Ablation A1: trap garbage-collection policies.  ``none`` lets stale
+    traps fire dummy loans; ``rotation`` expires them (clock + served
+    piggyback); ``inverse`` clears them along the loan's trail.
+
+    All policies run for the same *virtual-time* horizon (``rounds * n``)
+    so rates are directly comparable — loan-heavy runs advance the token
+    clock more slowly, which would skew a rounds-based comparison."""
+    rows = []
+    horizon = float(rounds * n)
+    for policy in (GC_NONE, GC_ROTATION, GC_INVERSE):
+        config = ProtocolConfig(trap_gc=policy)
+        cluster = Cluster.build("binary_search", n=n, seed=seed,
+                                config=config)
+        cluster.add_workload(FixedRateWorkload(mean_interval=mean_interval))
+        cluster.run(until=horizon, max_events=100_000_000)
+        tracker = cluster.responsiveness
+        grants = max(tracker.grants(), 1)
+        loans = cluster.messages.count("LoanMsg")
+        rows.append({
+            "protocol": "binary_search",
+            "trap_gc": policy,
+            "n": n,
+            "grants": tracker.grants(),
+            "loans": loans,
+            "dummy_loans": max(0, loans - tracker.grants()),
+            "dummy_per_grant": max(0, loans - tracker.grants()) / grants,
+            "avg_responsiveness": tracker.average_responsiveness(),
+            "messages_total": cluster.messages.total,
+        })
+    return rows
+
+
+def run_directed_ablation(
+    sizes: Sequence[int] = (16, 32, 64, 128, 256),
+    mean_interval: float = 50.0,
+    rounds: int = 200,
+    seed: int = 2001,
+) -> List[Dict[str, float]]:
+    """Ablation A2: delegated (gimme) vs. directed (probe/reply) search.
+    Directed search uses up to 2·log N messages per request but can stop
+    early when the rotation wins the race."""
+    rows = []
+    for n in sizes:
+        for protocol in ("binary_search", "directed_search"):
+            row = run_protocol_once(
+                protocol, n=n, mean_interval=mean_interval,
+                rounds=rounds, seed=seed,
+            )
+            grants = max(row["grants"], 1)
+            row["search_per_grant"] = row["search_messages"] / grants
+            row["log2n"] = math.log2(n)
+            rows.append(row)
+    return rows
+
+
+def run_push_pull_ablation(
+    n: int = 64,
+    intervals: Sequence[float] = (5.0, 20.0, 100.0, 500.0),
+    rounds: int = 200,
+    seed: int = 2001,
+) -> List[Dict[str, float]]:
+    """Ablation A3: pull (binary search) vs. push (parked virtual root +
+    adverts) vs. the combined scheme, across loads.  Push/hybrid run with
+    an idle pause so the token can park and advertise."""
+    rows = []
+    horizon = float(rounds * n)
+    for interval in intervals:
+        for protocol in ("binary_search", "push", "hybrid"):
+            config = ProtocolConfig()
+            if protocol in ("push", "hybrid"):
+                config.idle_pause = 2.0
+            # Fixed virtual-time horizon: a parked (push) token makes no
+            # rounds, so rounds-based termination would not be comparable.
+            cluster = Cluster.build(protocol, n=n, seed=seed, config=config)
+            cluster.add_workload(
+                FixedRateWorkload(mean_interval=float(interval)))
+            cluster.run(until=horizon, max_events=100_000_000)
+            tracker = cluster.responsiveness
+            grants = max(tracker.grants(), 1)
+            rows.append({
+                "protocol": protocol,
+                "n": n,
+                "mean_interval": float(interval),
+                "grants": tracker.grants(),
+                "avg_responsiveness": tracker.average_responsiveness(),
+                "messages_total": cluster.messages.total,
+                "messages_cheap": cluster.messages.cheap,
+                "messages_expensive": cluster.messages.expensive,
+                "messages_per_grant": cluster.messages.total / grants,
+            })
+    return rows
+
+
+def run_throttle_ablation(
+    n: int = 64,
+    mean_interval: float = 5.0,
+    rounds: int = 100,
+    seed: int = 2001,
+) -> List[Dict[str, float]]:
+    """Ablation A4: the Section 4.4 single-outstanding-request throttle.
+
+    Both arms retry while waiting (retry_timeout = 10); the throttled arm
+    additionally enforces the strong form of the remark — at most one
+    gimme (own or forwarded) in flight per node — which bounds total gimme
+    traffic by the number of token passes."""
+    from repro.core.messages import GimmeMsg
+
+    rows = []
+    horizon = float(rounds * n)
+    for throttled in (True, False):
+        config = ProtocolConfig(single_outstanding=throttled,
+                                forward_throttle=throttled,
+                                retry_timeout=10.0)
+        cluster = Cluster.build("binary_search", n=n, seed=seed,
+                                config=config)
+        issued = [0]
+
+        def count_issued(src, dst, msg, issued=issued):
+            if isinstance(msg, GimmeMsg) and len(msg.trail) == 1:
+                issued[0] += 1
+
+        cluster.network.on_send.append(count_issued)
+        cluster.add_workload(FixedRateWorkload(mean_interval=mean_interval))
+        cluster.run(until=horizon, max_events=100_000_000)
+        tracker = cluster.responsiveness
+        rows.append({
+            "protocol": "binary_search",
+            "single_outstanding": throttled,
+            "n": n,
+            "grants": tracker.grants(),
+            "issued_gimmes": issued[0],
+            "search_messages": cluster.messages.search_messages(),
+            "token_passes": cluster.messages.token_passes(),
+            "messages_total": cluster.messages.total,
+            "avg_responsiveness": tracker.average_responsiveness(),
+        })
+    return rows
+
+
+def run_adaptive_speed_ablation(
+    n: int = 64,
+    pauses: Sequence[float] = (0.0, 1.0, 5.0, 20.0),
+    mean_interval: float = 200.0,
+    rounds: int = 100,
+    seed: int = 2001,
+) -> List[Dict[str, float]]:
+    """Ablation A5: adaptive token speed under a light load.  Longer idle
+    pauses slash rotation messages; the binary search keeps responsiveness
+    logarithmic because a parked token is found where it sleeps."""
+    rows = []
+    for pause in pauses:
+        config = ProtocolConfig(idle_pause=pause)
+        # Run by time, not rounds: parking makes rounds slow by design.
+        cluster = Cluster.build("binary_search", n=n, seed=seed, config=config)
+        cluster.add_workload(FixedRateWorkload(mean_interval=mean_interval))
+        horizon = float(rounds * n)
+        cluster.run(until=horizon, max_events=100_000_000)
+        tracker = cluster.responsiveness
+        grants = max(tracker.grants(), 1)
+        rows.append({
+            "protocol": "binary_search",
+            "idle_pause": pause,
+            "n": n,
+            "mean_interval": mean_interval,
+            "grants": tracker.grants(),
+            "avg_responsiveness": tracker.average_responsiveness(),
+            "messages_total": cluster.messages.total,
+            "messages_per_time": cluster.messages.total / horizon,
+            "messages_per_grant": cluster.messages.total / grants,
+        })
+    return rows

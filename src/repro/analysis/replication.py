@@ -1,0 +1,85 @@
+"""Multi-seed replication of experiments.
+
+The paper reports single curves; a careful reproduction should show run-to-
+run variability.  :func:`replicate` runs any row-producing experiment
+function across seeds and aggregates matching rows into mean ± 95 % CI
+columns; :func:`significantly_less` is the simple decision helper the
+shape assertions use when one protocol must beat another beyond noise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.metrics.stats import confidence_interval, mean, stdev
+
+__all__ = ["replicate", "significantly_less"]
+
+
+def _row_key(row: Dict, key_fields: Sequence[str]) -> Tuple:
+    return tuple(row.get(field) for field in key_fields)
+
+
+def replicate(
+    experiment: Callable[[int], List[Dict]],
+    seeds: Sequence[int],
+    key_fields: Sequence[str],
+    value_fields: Sequence[str],
+) -> List[Dict]:
+    """Run ``experiment(seed)`` per seed; aggregate rows sharing the same
+    ``key_fields`` into ``<field>_mean`` / ``<field>_ci`` / ``<field>_sd``
+    columns over ``value_fields``.
+
+    Rows must align across seeds (same key set per run); a missing key in
+    some run raises ``ValueError`` so silent misalignment cannot skew the
+    aggregate.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_key: Dict[Tuple, Dict[str, List[float]]] = {}
+    templates: Dict[Tuple, Dict] = {}
+    order: List[Tuple] = []
+    expected: set = set()
+
+    for idx, seed in enumerate(seeds):
+        rows = experiment(seed)
+        seen = set()
+        for row in rows:
+            key = _row_key(row, key_fields)
+            seen.add(key)
+            if key not in per_key:
+                if idx != 0:
+                    raise ValueError(f"row {key} appeared only from seed {seed}")
+                per_key[key] = {field: [] for field in value_fields}
+                templates[key] = {field: row[field] for field in key_fields}
+                order.append(key)
+            for field in value_fields:
+                per_key[key][field].append(float(row[field]))
+        if idx == 0:
+            expected = set(seen)
+        elif seen != expected:
+            raise ValueError(
+                f"seed {seed} produced a different row set than seed {seeds[0]}"
+            )
+
+    out: List[Dict] = []
+    for key in order:
+        aggregated = dict(templates[key])
+        aggregated["replications"] = len(seeds)
+        for field, values in per_key[key].items():
+            low, high = confidence_interval(values)
+            aggregated[f"{field}_mean"] = mean(values)
+            aggregated[f"{field}_sd"] = stdev(values)
+            aggregated[f"{field}_ci"] = (high - low) / 2.0
+        out.append(aggregated)
+    return out
+
+
+def significantly_less(
+    a_values: Sequence[float], b_values: Sequence[float]
+) -> bool:
+    """True when mean(a) + CI(a) < mean(b) − CI(b): a beats b beyond the
+    95 % normal-approximation noise band."""
+    a_low, a_high = confidence_interval(a_values)
+    b_low, b_high = confidence_interval(b_values)
+    return a_high < b_low

@@ -1,0 +1,78 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same series the paper plots; these helpers format
+result rows into aligned text tables and simple ASCII series so the
+regenerated figures are readable straight from the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "pivot"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` (dicts) as an aligned text table of ``columns``."""
+    header = [str(c) for c in columns]
+    body = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def pivot(
+    rows: Sequence[Dict],
+    index: str,
+    series: str,
+    value: str,
+) -> List[Dict]:
+    """Pivot long-form rows into one row per ``index`` with a column per
+    ``series`` value — the shape of the paper's figure curves."""
+    out: Dict[object, Dict] = {}
+    order: List[object] = []
+    for row in rows:
+        key = row[index]
+        if key not in out:
+            out[key] = {index: key}
+            order.append(key)
+        out[key][str(row[series])] = row[value]
+    return [out[k] for k in order]
+
+
+def format_series(
+    rows: Sequence[Dict],
+    index: str,
+    series: str,
+    value: str,
+    title: Optional[str] = None,
+) -> str:
+    """Pivot + render: one line per x-value, one column per curve."""
+    pivoted = pivot(rows, index, series, value)
+    series_names: List[str] = []
+    for row in pivoted:
+        for key in row:
+            if key != index and key not in series_names:
+                series_names.append(key)
+    return format_table(pivoted, [index] + series_names, title=title)

@@ -1,0 +1,11 @@
+"""Applications on the token substrate: distributed mutual exclusion,
+totally-ordered broadcast, and round-robin scheduling — the use cases the
+paper's introduction motivates."""
+
+from repro.apps.broadcast import TotalOrderBroadcast
+from repro.apps.groups import GroupEvent, ViewSynchronousGroup
+from repro.apps.mutex import SimMutex
+from repro.apps.scheduler import RoundRobinScheduler
+
+__all__ = ["GroupEvent", "RoundRobinScheduler", "SimMutex",
+           "TotalOrderBroadcast", "ViewSynchronousGroup"]

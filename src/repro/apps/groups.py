@@ -1,0 +1,201 @@
+"""View-synchronous group messaging — the GCS the paper motivates.
+
+Section 1 presents group communication services as the flagship use of
+logical token rings (citing Totem's single-ring protocol).  This app
+composes the repository's pieces into a small GCS with the two guarantees
+such services advertise:
+
+- **total order** — messages are delivered to every member in one global
+  order (the token possession order, exactly as in
+  :class:`~repro.apps.broadcast.TotalOrderBroadcast`);
+- **view synchrony** — membership changes are delivered as *view events*
+  inside the same total order, so every member sees precisely the same
+  sequence of messages and views, and any two members agree on which
+  messages were delivered in which view.
+
+Views are installed through the token itself: a membership change is
+submitted as a special view-change message which, when its turn in the
+total order comes, atomically flips the current view.  Because the order
+is total, no member can deliver a message in the wrong view — the
+view-synchrony argument is one line, which is the paper's point about
+building on components with orthogonal guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cluster import Cluster
+from repro.errors import MembershipError, ProtocolError
+
+__all__ = ["GroupEvent", "ViewSynchronousGroup"]
+
+
+class GroupEvent:
+    """One delivered event: either an application message or a view."""
+
+    __slots__ = ("seq", "kind", "view_id", "sender", "payload", "members")
+
+    def __init__(self, seq: int, kind: str, view_id: int,
+                 sender: Optional[int] = None, payload: object = None,
+                 members: Tuple[int, ...] = ()) -> None:
+        self.seq = seq
+        self.kind = kind            # "message" | "view"
+        self.view_id = view_id
+        self.sender = sender
+        self.payload = payload
+        self.members = members
+
+    def __repr__(self) -> str:
+        if self.kind == "view":
+            return f"View(#{self.seq}, v{self.view_id}, {self.members})"
+        return f"Msg(#{self.seq}, v{self.view_id}, from {self.sender})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, GroupEvent)
+                and (self.seq, self.kind, self.view_id, self.sender,
+                     self.payload, self.members)
+                == (other.seq, other.kind, other.view_id, other.sender,
+                    other.payload, other.members))
+
+
+class ViewSynchronousGroup:
+    """Totally-ordered, view-synchronous messaging over a DES cluster."""
+
+    def __init__(self, cluster: Cluster, delivery_delay: float = 1.0) -> None:
+        if cluster.config.hold_until_release:
+            raise ProtocolError(
+                "ViewSynchronousGroup requires auto-release grants"
+            )
+        self.cluster = cluster
+        self.delivery_delay = delivery_delay
+        self._members: Tuple[int, ...] = tuple(range(cluster.n))
+        self._view_id = 0
+        self._next_seq = 0
+        self._outbox: Dict[int, List[object]] = {}
+        self._pending_views: Dict[int, List[Tuple[str, int]]] = {}
+        #: The agreed global event sequence.
+        self.history: List[GroupEvent] = []
+        #: Per-member delivered logs (only members of the event's view
+        #: receive it).
+        self.logs: Dict[int, List[GroupEvent]] = {
+            node: [] for node in range(cluster.n)
+        }
+        cluster.on_grant(self._on_grant)
+
+    # -- application interface --------------------------------------------------
+
+    @property
+    def view(self) -> Tuple[int, Tuple[int, ...]]:
+        """The current (view id, members)."""
+        return self._view_id, self._members
+
+    def send(self, node: int, payload: object) -> None:
+        """Multicast ``payload`` from ``node`` to the group, totally
+        ordered and stamped with the view current at delivery time."""
+        if node not in self._members:
+            raise MembershipError(f"node {node} is not in the current view")
+        self._outbox.setdefault(node, []).append(payload)
+        self.cluster.request(node)
+
+    def request_leave(self, node: int) -> None:
+        """Ask for a view without ``node`` (installed in total order)."""
+        if node not in self._members:
+            raise MembershipError(f"node {node} is not in the current view")
+        if len(self._members) == 1:
+            raise MembershipError("cannot empty the group")
+        self._pending_views.setdefault(node, []).append(("leave", node))
+        self.cluster.request(node)
+
+    def request_join(self, sponsor: int, joiner: int) -> None:
+        """Ask for a view including ``joiner`` (sponsored by a member)."""
+        if sponsor not in self._members:
+            raise MembershipError(f"sponsor {sponsor} is not a member")
+        if joiner in self._members:
+            raise MembershipError(f"node {joiner} is already a member")
+        if not 0 <= joiner < self.cluster.n:
+            raise MembershipError(f"node {joiner} does not exist")
+        self._pending_views.setdefault(sponsor, []).append(("join", joiner))
+        self.cluster.request(sponsor)
+
+    # -- ordering ------------------------------------------------------------------
+
+    def _on_grant(self, node: int, req_seq: int, now: float) -> None:
+        # View changes first: they were requested before later messages of
+        # the same holder and must bound the epoch of its own sends.
+        for action, subject in self._pending_views.pop(node, []):
+            if action == "leave" and subject in self._members:
+                self._members = tuple(m for m in self._members
+                                      if m != subject)
+            elif action == "join" and subject not in self._members:
+                self._members = tuple(sorted(self._members + (subject,)))
+            else:
+                continue
+            self._view_id += 1
+            self._emit(GroupEvent(
+                self._next_seq, "view", self._view_id,
+                members=self._members,
+            ))
+        for payload in self._outbox.pop(node, []):
+            if node not in self._members:
+                continue  # sender left before its turn: message dropped
+            self._emit(GroupEvent(
+                self._next_seq, "message", self._view_id,
+                sender=node, payload=payload,
+            ))
+
+    def _emit(self, event: GroupEvent) -> None:
+        self._next_seq += 1
+        self.history.append(event)
+        recipients = event.members if event.kind == "view" else self._members
+        for member in recipients:
+            self.cluster.sim.schedule(
+                self.delivery_delay, self._deliver, member, event
+            )
+
+    def _deliver(self, member: int, event: GroupEvent) -> None:
+        self.logs[member].append(event)
+
+    # -- auditing --------------------------------------------------------------------
+
+    def assert_view_synchrony(self) -> None:
+        """Audit, at quiescence: every member delivered in ascending global
+        order, and every message reached exactly the members of the view it
+        was stamped with."""
+        for member, log in self.logs.items():
+            ids = [e.seq for e in log]
+            if ids != sorted(ids):
+                raise ProtocolError(f"member {member} delivered out of order")
+        for event in self.history:
+            if event.kind != "message":
+                continue
+            view_members = self._members_at(event.view_id)
+            for member, log in self.logs.items():
+                got = event in log
+                should = member in view_members
+                if got != should:
+                    raise ProtocolError(
+                        f"member {member}: event #{event.seq} delivery "
+                        f"mismatch (got={got}, member-of-view={should})"
+                    )
+
+    def _members_at(self, view_id: int) -> Tuple[int, ...]:
+        members = tuple(range(self.cluster.n))
+        for event in self.history:
+            if event.kind == "view" and event.view_id <= view_id:
+                members = event.members
+        return members
+
+    def delivered_sequences_agree(self) -> bool:
+        """Any two members' logs agree on the order of common events —
+        the heart of view synchrony."""
+        logs = list(self.logs.values())
+        for i in range(len(logs)):
+            for j in range(i + 1, len(logs)):
+                a = [e.seq for e in logs[i]]
+                b = [e.seq for e in logs[j]]
+                common = set(a) & set(b)
+                if [s for s in a if s in common] != \
+                        [s for s in b if s in common]:
+                    return False
+        return True

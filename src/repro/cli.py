@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``):
+
+    python -m repro simulate --protocol binary_search -n 100 \\
+        --mean-interval 10 --rounds 300 --seed 7
+    python -m repro compare -n 100 --mean-interval 100 --rounds 300
+    python -m repro figure9 [--rounds 300]
+    python -m repro figure10 [--rounds 300]
+    python -m repro ablations [--rounds 200]
+    python -m repro refinement [-n 4 --steps 200]
+
+Every command prints plain-text tables (see :mod:`repro.analysis.tables`)
+and returns a process exit code of 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    run_adaptive_speed_ablation,
+    run_directed_ablation,
+    run_figure9,
+    run_figure10,
+    run_gc_ablation,
+    run_protocol_once,
+    run_push_pull_ablation,
+    run_throttle_ablation,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.core.config import ProtocolConfig
+
+PROTOCOLS = ("ring", "linear_search", "binary_search", "directed_search",
+             "push", "hybrid", "fault_tolerant")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2001,
+                        help="RNG seed (default 2001)")
+    parser.add_argument("--rounds", type=int, default=300,
+                        help="token circulations per run (paper: 1000)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Adaptive token-passing (Englert, Rudolph & Shvartsman "
+                     "2001): simulations, figures, and ablations."),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one protocol once")
+    sim.add_argument("--protocol", choices=PROTOCOLS, default="binary_search")
+    sim.add_argument("-n", "--nodes", type=int, default=100)
+    sim.add_argument("--mean-interval", type=float, default=10.0,
+                     help="mean time between requests (global Poisson)")
+    sim.add_argument("--idle-pause", type=float, default=0.0)
+    sim.add_argument("--trap-gc", choices=("none", "rotation", "inverse"),
+                     default="rotation")
+    _add_common(sim)
+
+    cmp_ = sub.add_parser("compare", help="ring vs binary search, one load")
+    cmp_.add_argument("-n", "--nodes", type=int, default=100)
+    cmp_.add_argument("--mean-interval", type=float, default=100.0)
+    _add_common(cmp_)
+
+    fig9 = sub.add_parser("figure9", help="regenerate the paper's Figure 9")
+    _add_common(fig9)
+
+    fig10 = sub.add_parser("figure10", help="regenerate the paper's Figure 10")
+    fig10.add_argument("-n", "--nodes", type=int, default=100)
+    _add_common(fig10)
+
+    abl = sub.add_parser("ablations", help="run the A1-A5 ablation suite")
+    _add_common(abl)
+
+    ref = sub.add_parser("refinement",
+                         help="machine-check the TRS refinement chain")
+    ref.add_argument("-n", "--nodes", type=int, default=4)
+    ref.add_argument("--steps", type=int, default=200)
+    ref.add_argument("--seed", type=int, default=42)
+
+    rep = sub.add_parser("report",
+                         help="run the figures with replication and write "
+                              "a markdown report")
+    rep.add_argument("--out", default="report.md",
+                     help="output path (default report.md)")
+    rep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    _add_common(rep)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    config = ProtocolConfig(idle_pause=args.idle_pause, trap_gc=args.trap_gc)
+    row = run_protocol_once(
+        args.protocol, n=args.nodes, mean_interval=args.mean_interval,
+        rounds=args.rounds, seed=args.seed, config=config,
+    )
+    print(format_table(
+        [row],
+        ["protocol", "n", "grants", "avg_responsiveness",
+         "max_responsiveness", "avg_waiting", "messages_total",
+         "messages_cheap", "token_passes"],
+        title=(f"{args.protocol} | n={args.nodes} "
+               f"interval={args.mean_interval:g} rounds={args.rounds}"),
+    ))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = [
+        run_protocol_once(protocol, n=args.nodes,
+                          mean_interval=args.mean_interval,
+                          rounds=args.rounds, seed=args.seed)
+        for protocol in ("ring", "binary_search")
+    ]
+    print(format_table(
+        rows,
+        ["protocol", "avg_responsiveness", "max_responsiveness",
+         "grants", "messages_total"],
+        title=(f"ring vs binary_search | n={args.nodes} "
+               f"interval={args.mean_interval:g} "
+               f"(n/2={args.nodes // 2}, log2(n)="
+               f"{math.log2(args.nodes):.2f})"),
+    ))
+    return 0
+
+
+def _cmd_figure9(args) -> int:
+    rows = run_figure9(rounds=args.rounds, seed=args.seed)
+    print(format_series(
+        rows, index="n", series="protocol", value="avg_responsiveness",
+        title="Figure 9 — avg responsiveness vs processors (fixed load)",
+    ))
+    return 0
+
+
+def _cmd_figure10(args) -> int:
+    rows = run_figure10(n=args.nodes, rounds=args.rounds, seed=args.seed)
+    print(format_series(
+        rows, index="mean_interval", series="protocol",
+        value="avg_responsiveness",
+        title=(f"Figure 10 — avg responsiveness vs load (n={args.nodes}; "
+               f"log2(n)={math.log2(args.nodes):.2f}, "
+               f"n/2={args.nodes // 2})"),
+    ))
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    print(format_table(
+        run_gc_ablation(rounds=args.rounds, seed=args.seed),
+        ["trap_gc", "grants", "dummy_per_grant", "avg_responsiveness"],
+        title="A1 — trap garbage collection",
+    ))
+    print()
+    print(format_series(
+        run_directed_ablation(rounds=args.rounds, seed=args.seed),
+        index="n", series="protocol", value="search_per_grant",
+        title="A2 — search messages per request",
+    ))
+    print()
+    print(format_series(
+        run_push_pull_ablation(rounds=args.rounds, seed=args.seed),
+        index="mean_interval", series="protocol",
+        value="avg_responsiveness",
+        title="A3 — pull vs push vs hybrid (responsiveness)",
+    ))
+    print()
+    print(format_table(
+        run_throttle_ablation(rounds=args.rounds, seed=args.seed),
+        ["single_outstanding", "grants", "search_messages", "token_passes",
+         "avg_responsiveness"],
+        title="A4 — gimme throttle",
+    ))
+    print()
+    print(format_table(
+        run_adaptive_speed_ablation(rounds=max(args.rounds // 2, 50),
+                                    seed=args.seed),
+        ["idle_pause", "grants", "messages_per_time", "avg_responsiveness"],
+        title="A5 — adaptive token speed",
+    ))
+    return 0
+
+
+def _cmd_refinement(args) -> int:
+    from repro.specs import (
+        system_binary_search,
+        system_message_passing,
+        system_s,
+        system_s1,
+        system_search,
+        system_token,
+    )
+    from repro.specs.properties import prefix_property
+    from repro.specs.refinement import (
+        binary_search_to_s1,
+        check_refinement,
+        mp_to_s1,
+        s1_to_s,
+        search_to_s1,
+        token_to_s1,
+    )
+
+    n = args.nodes
+    coarse_s, _ = system_s.make_system(n)
+    coarse_s1, _ = system_s1.make_system(n)
+    chain = [
+        ("S1 -> S (Lemma 1)", system_s1.make_system(n), s1_to_s,
+         coarse_s, 1, {}),
+        ("Token -> S1 (Lemma 2)", system_token.make_system(n), token_to_s1,
+         coarse_s1, 2, {}),
+        ("MP -> S1 (Lemma 3)", system_message_passing.make_system(n),
+         mp_to_s1, coarse_s1, 2, {}),
+        ("Search -> S1", system_search.make_system(n), search_to_s1,
+         coarse_s1, 2, {"5": 0.5, "6": 0.8}),
+        ("BinarySearch -> S1 (Thm 1)", system_binary_search.make_system(n),
+         binary_search_to_s1, coarse_s1, 2,
+         {"1": 1.5, "2": 3.0, "5": 0.6}),
+    ]
+    for label, (rewriter, initial), mapping, coarse, depth, weights in chain:
+        reduction = rewriter.random_reduction(initial, args.steps,
+                                              seed=args.seed,
+                                              weights=weights or None)
+        reduction.check_invariant(prefix_property)
+        simulated = check_refinement(reduction, mapping, coarse,
+                                     max_depth=depth)
+        print(f"  {label:<28} OK ({len(reduction)} steps, "
+              f"{simulated} simulated)")
+    print("refinement chain verified")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.replication import replicate
+
+    lines = ["# repro — replicated figure report", ""]
+    lines.append(f"seeds: {args.seeds}; rounds per run: {args.rounds}")
+    lines.append("")
+
+    fig9 = replicate(
+        lambda seed: run_figure9(sizes=(8, 16, 32, 64), rounds=args.rounds,
+                                 seed=seed),
+        seeds=args.seeds, key_fields=("n", "protocol"),
+        value_fields=("avg_responsiveness",),
+    )
+    lines.append("## Figure 9 — fixed load, varying processors")
+    lines.append("")
+    lines.append("| n | protocol | avg responsiveness (mean ± 95% CI) |")
+    lines.append("|---|---|---|")
+    for row in fig9:
+        lines.append(
+            f"| {row['n']} | {row['protocol']} | "
+            f"{row['avg_responsiveness_mean']:.2f} ± "
+            f"{row['avg_responsiveness_ci']:.2f} |")
+    lines.append("")
+
+    fig10 = replicate(
+        lambda seed: run_figure10(intervals=(2, 10, 50, 200), n=64,
+                                  rounds=args.rounds, seed=seed),
+        seeds=args.seeds, key_fields=("mean_interval", "protocol"),
+        value_fields=("avg_responsiveness",),
+    )
+    lines.append("## Figure 10 — fixed n = 64, varying load")
+    lines.append("")
+    lines.append("| interval | protocol | avg responsiveness (mean ± CI) |")
+    lines.append("|---|---|---|")
+    for row in fig10:
+        lines.append(
+            f"| {row['mean_interval']:g} | {row['protocol']} | "
+            f"{row['avg_responsiveness_mean']:.2f} ± "
+            f"{row['avg_responsiveness_ci']:.2f} |")
+    lines.append("")
+
+    text = "\n".join(lines) + "\n"
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.out} ({len(fig9) + len(fig10)} aggregated rows)")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "figure9": _cmd_figure9,
+    "figure10": _cmd_figure10,
+    "ablations": _cmd_ablations,
+    "refinement": _cmd_refinement,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

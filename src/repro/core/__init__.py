@@ -1,0 +1,44 @@
+"""Executable token-passing protocols — the paper's contribution.
+
+- :class:`RingCore` — circular rotation (the Figures 9/10 baseline);
+- :class:`LinearSearchCore` — System Search, ring-restricted (Lemma 5);
+- :class:`BinarySearchCore` — the adaptive ring + binary-search protocol;
+- :class:`DirectedSearchCore`, :class:`PushCore`, :class:`HybridCore` —
+  the Section 4.2/4.4 variants;
+- :class:`Cluster` — wiring + metrics for simulation experiments.
+"""
+
+from repro.core.base import ProtocolCore
+from repro.core.binary_search import BinarySearchCore
+from repro.core.cluster import Cluster
+from repro.core.config import GC_INVERSE, GC_NONE, GC_ROTATION, ProtocolConfig
+from repro.core.directed_search import DirectedSearchCore
+from repro.core.effects import CancelTimer, Deliver, Effect, Send, SetTimer, Trace
+from repro.core.hybrid import HybridCore
+from repro.core.push import PushCore
+from repro.core.ring import RingCore
+from repro.core.search import LinearSearchCore
+from repro.core.traps import Trap, TrapStore
+
+__all__ = [
+    "BinarySearchCore",
+    "CancelTimer",
+    "Cluster",
+    "Deliver",
+    "DirectedSearchCore",
+    "Effect",
+    "GC_INVERSE",
+    "GC_NONE",
+    "GC_ROTATION",
+    "HybridCore",
+    "LinearSearchCore",
+    "ProtocolConfig",
+    "ProtocolCore",
+    "PushCore",
+    "RingCore",
+    "Send",
+    "SetTimer",
+    "Trace",
+    "Trap",
+    "TrapStore",
+]

@@ -1,0 +1,143 @@
+"""The regular ring token-rotation protocol (System Message-Passing with
+rule 3').
+
+This is the paper's baseline comparator in Figures 9 and 10: the token
+circulates node-to-node; a node serves its own pending request when the
+token arrives and passes it on.  Responsiveness is O(N) (Lemma 4).
+
+The ``idle_pause`` knob implements the Section 4.4 adaptive-speed remark —
+"the speed of token passing around the cycle can be varied according to
+demand": a node holding the token with no local demand parks it for
+``idle_pause`` before forwarding (a locally arriving request un-parks it
+immediately).  The ring node has no remote-demand signal, so slowing the
+rotation trades responsiveness for message savings; the
+adaptive-speed ablation benchmark quantifies this.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.core.base import ProtocolCore
+from repro.core.config import ProtocolConfig
+from repro.core.effects import CancelTimer, Deliver, Effect, Send, SetTimer
+from repro.core.messages import TokenMsg
+from repro.errors import ProtocolError
+
+__all__ = ["RingCore"]
+
+_FWD = "forward"
+_REL = "release"
+
+
+class RingCore(ProtocolCore):
+    """Per-node state machine of the circular-rotation protocol."""
+
+    protocol_name = "ring"
+
+    def __init__(self, node_id: int, config: ProtocolConfig,
+                 initial_holder: int = 0) -> None:
+        super().__init__(node_id, config)
+        self.has_token = node_id == initial_holder
+        self.clock = 0
+        self.round_no = 0
+        self.last_visit = 0 if self.has_token else -1
+        self.ready = False
+        self.req_seq = 0
+        self.granted_seq = -1
+        self._parked = False          # token held with the forward timer armed
+        self._serving = False         # grant outstanding (hold/service mode)
+
+    # -- requests -------------------------------------------------------------
+
+    def on_request(self, now: float) -> List[Effect]:
+        """Become ready; a parked or just-arrived token serves immediately."""
+        self.ready = True
+        self.req_seq += 1
+        if self.has_token and not self._serving:
+            effects: List[Effect] = []
+            if self._parked:
+                self._parked = False
+                effects.append(CancelTimer(_FWD))
+            effects.extend(self._advance(now))
+            return effects
+        return []
+
+    def on_release(self, now: float) -> List[Effect]:
+        """Finish using the token (hold_until_release mode)."""
+        if not self._serving:
+            return []
+        self._serving = False
+        effects: List[Effect] = [
+            Deliver("released", (self.node_id, self.granted_seq))
+        ]
+        effects.extend(self._advance(now))
+        return effects
+
+    # -- protocol -------------------------------------------------------------
+
+    def on_start(self, now: float) -> List[Effect]:
+        if not self.has_token:
+            return []
+        return [Deliver("token_visit", (self.node_id, self.clock))] + \
+            self._advance(now)
+
+    def on_message(self, src: int, msg: object, now: float) -> List[Effect]:
+        if isinstance(msg, TokenMsg):
+            return self._on_token(msg, now)
+        raise ProtocolError(f"ring node {self.node_id}: unexpected {msg!r}")
+
+    def on_timer(self, key: Hashable, now: float) -> List[Effect]:
+        if key == _FWD:
+            if not (self.has_token and self._parked):
+                return []
+            self._parked = False
+            return self._forward()
+        if key == _REL:
+            return self.on_release(now)
+        return []
+
+    def _on_token(self, msg: TokenMsg, now: float) -> List[Effect]:
+        if self.has_token:
+            raise ProtocolError(f"node {self.node_id} received a second token")
+        self.has_token = True
+        self.clock = msg.clock
+        self.round_no = msg.round_no
+        self.last_visit = msg.clock
+        effects: List[Effect] = [Deliver("token_visit", (self.node_id, self.clock))]
+        effects.extend(self._advance(now))
+        return effects
+
+    def _advance(self, now: float) -> List[Effect]:
+        """Serve a local request if any, then forward (or park) the token."""
+        if self._serving:
+            return []
+        effects: List[Effect] = []
+        if self.ready:
+            self.ready = False
+            self.granted_seq = self.req_seq
+            effects.append(Deliver("granted", (self.node_id, self.req_seq)))
+            if self.config.hold_until_release:
+                self._serving = True
+                return effects
+            if self.config.service_time > 0:
+                self._serving = True
+                effects.append(SetTimer(_REL, self.config.service_time))
+                return effects
+            effects.append(Deliver("released", (self.node_id, self.req_seq)))
+        if self.config.idle_pause > 0:
+            self._parked = True
+            effects.append(SetTimer(_FWD, self.config.idle_pause))
+            return effects
+        effects.extend(self._forward())
+        return effects
+
+    def _forward(self) -> List[Effect]:
+        if self.ring_size() == 1:
+            return []  # a solitary node keeps its token
+        self.has_token = False
+        successor = self.ring_succ()
+        next_round = (
+            self.round_no + 1 if successor == self.ring_first() else self.round_no
+        )
+        return [Send(successor, TokenMsg(clock=self.clock + 1, round_no=next_round))]

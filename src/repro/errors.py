@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TermError(ReproError):
+    """An ill-formed term was constructed or manipulated."""
+
+
+class MatchError(TermError):
+    """A pattern match that was required to succeed did not."""
+
+
+class RuleError(ReproError):
+    """A rewrite rule is ill-formed or was misapplied."""
+
+
+class NoApplicableRuleError(RuleError):
+    """A rewriting step was requested but no rule applies to the term."""
+
+
+class SpecError(ReproError):
+    """A protocol specification was violated or misconfigured."""
+
+
+class RefinementError(SpecError):
+    """A refinement mapping failed to carry a step of the fine system."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class NetworkError(SimulationError):
+    """A message could not be routed or delivered."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine detected a safety violation."""
+
+
+class TokenSafetyError(ProtocolError):
+    """More than one token (or a phantom token) was observed."""
+
+
+class ConfigError(ReproError):
+    """Invalid protocol, workload, or experiment configuration."""
+
+
+class MembershipError(ReproError):
+    """An invalid group-membership operation was attempted."""

@@ -1,0 +1,227 @@
+"""Fault-tolerant binary-search protocol with token regeneration
+(paper Section 5).
+
+:class:`FaultTolerantCore` extends the adaptive protocol with:
+
+- **time-out detection** — a requester whose wait exceeds
+  ``config.regen_timeout`` polls the ring with (cheap) who-has messages;
+- **census + election** — replies collected for ``config.census_window``;
+  if nobody claims the token, the non-responders become *suspects*, and
+  the first responsive successor of the freshest sighting (operationally,
+  the failed holder's surviving neighbour) is told to mint a new token;
+- **epochs** — every regenerated token carries a higher epoch; messages
+  from older epochs are discarded, so a token that merely *seemed* lost
+  cannot yield two circulating tokens once any node has seen the new one;
+- **suspect-skipping rotation** — forwarding and loans route around
+  suspects (the ``x⁻¹``/``x⁺¹`` healing of the paper);
+- **loan reclaim** — a lender whose borrower crashed reclaims the token
+  after ``config.loan_timeout`` under a fresh epoch.
+
+Detection is deliberately demand-driven, exactly as the paper observes:
+with no requester, a lost token goes unnoticed — and harmlessly so.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.core.binary_search import BinarySearchCore
+from repro.core.config import ProtocolConfig
+from repro.core.effects import Deliver, Effect, Send, SetTimer
+from repro.core.messages import (
+    LoanMsg,
+    LoanReturnMsg,
+    RegenerateMsg,
+    TokenMsg,
+    WhoHasMsg,
+    WhoHasReplyMsg,
+)
+from repro.faults.detector import Census
+
+__all__ = ["FaultTolerantCore"]
+
+_SUSPECT = "suspect"
+_CENSUS = "census"
+_LOANBACK = "loanback"
+
+
+class FaultTolerantCore(BinarySearchCore):
+    """Adaptive protocol + failure detection, election, regeneration."""
+
+    protocol_name = "fault_tolerant"
+
+    def __init__(self, node_id: int, config: ProtocolConfig,
+                 initial_holder: int = 0) -> None:
+        super().__init__(node_id, config, initial_holder)
+        self.epoch = 0
+        self.suspected: set = set()
+        self._census: Optional[Census] = None
+        self._probe_seq = 0
+
+    # -- epoch & routing hooks ----------------------------------------------------
+
+    def _token_epoch(self) -> int:
+        return self.epoch
+
+    def _token_suspects(self):
+        return tuple(sorted(self.suspected))
+
+    def _rotation_successor(self) -> int:
+        for k in range(1, self.ring_size()):
+            candidate = self.ring_succ(k)
+            if candidate not in self.suspected:
+                return candidate
+        return self.node_id
+
+    def _skip_requester(self, requester: int) -> bool:
+        return requester in self.suspected
+
+    def _after_loan_sent(self, requester: int) -> List[Effect]:
+        if self.config.loan_timeout <= 0:
+            return []
+        return [SetTimer((_LOANBACK, requester), self.config.loan_timeout)]
+
+    # -- message handling ---------------------------------------------------------------
+
+    def on_message(self, src: int, msg: object, now: float) -> List[Effect]:
+        if isinstance(msg, (TokenMsg, LoanMsg, LoanReturnMsg)):
+            msg_epoch = getattr(msg, "epoch", 0)
+            if msg_epoch < self.epoch:
+                return []  # stale token lineage: discard
+            if msg_epoch > self.epoch:
+                self.epoch = msg_epoch
+        if isinstance(msg, WhoHasMsg):
+            return self._on_who_has(src, msg)
+        if isinstance(msg, WhoHasReplyMsg):
+            return self._on_who_has_reply(src, msg)
+        if isinstance(msg, RegenerateMsg):
+            return self._on_regenerate(msg, now)
+        if isinstance(msg, TokenMsg):
+            self.suspected |= set(msg.suspects)
+            self.suspected.discard(self.node_id)
+            if src in self.suspected:
+                self.suspected.discard(src)  # evidently alive after all
+        return super().on_message(src, msg, now)
+
+    # -- detection ------------------------------------------------------------------------
+
+    def on_request(self, now: float) -> List[Effect]:
+        effects = super().on_request(now)
+        if self.ready and self.config.regen_timeout > 0:
+            effects.append(SetTimer((_SUSPECT, self.req_seq),
+                                    self.config.regen_timeout))
+        return effects
+
+    def on_timer(self, key: Hashable, now: float) -> List[Effect]:
+        if isinstance(key, tuple) and key:
+            if key[0] == _SUSPECT:
+                return self._on_suspect(key[1])
+            if key[0] == _CENSUS:
+                return self._on_census_deadline(key[1], now)
+            if key[0] == _LOANBACK:
+                return self._on_loan_timeout(key[1], now)
+        return super().on_timer(key, now)
+
+    def _on_suspect(self, req_seq: int) -> List[Effect]:
+        if not self.ready or req_seq != self.req_seq:
+            return []
+        if self.has_token or self._census is not None:
+            return []
+        self._probe_seq += 1
+        population = [x for x in range(self.n) if x != self.node_id]
+        self._census = Census(self.node_id, self._probe_seq, population)
+        effects: List[Effect] = [
+            Send(x, WhoHasMsg(origin=self.node_id, probe_seq=self._probe_seq))
+            for x in population
+        ]
+        effects.append(SetTimer((_CENSUS, self._probe_seq),
+                                self.config.census_window))
+        return effects
+
+    def _on_who_has(self, src: int, msg: WhoHasMsg) -> List[Effect]:
+        holds = self.has_token or self.lent_to is not None
+        return [Send(msg.origin, WhoHasReplyMsg(
+            origin=msg.origin, probe_seq=msg.probe_seq,
+            last_clock=self.last_visit, has_token=holds,
+        ))]
+
+    def _on_who_has_reply(self, src: int, msg: WhoHasReplyMsg) -> List[Effect]:
+        census = self._census
+        if census is None or msg.probe_seq != census.probe_seq:
+            return []
+        census.record(src, msg.last_clock, msg.has_token)
+        return []
+
+    def _on_census_deadline(self, probe_seq: int, now: float) -> List[Effect]:
+        census = self._census
+        if census is None or census.probe_seq != probe_seq:
+            return []
+        self._census = None
+        if not self.ready:
+            return []
+        origin_holds = self.has_token or self.lent_to is not None
+        if census.token_alive(origin_holds):
+            # The token exists; we were just slow.  Re-arm detection.
+            return [SetTimer((_SUSPECT, self.req_seq), self.config.regen_timeout)]
+        self.suspected |= census.suspects()
+        ring_order = list(range(self.n))
+        regenerator = census.elect_regenerator(ring_order, self.last_visit)
+        if regenerator is None:
+            return [SetTimer((_SUSPECT, self.req_seq), self.config.regen_timeout)]
+        _, freshest_clock = census.freshest(self.last_visit)
+        new_epoch = self.epoch + 1
+        new_clock = freshest_clock + self.ring_size()
+        regen = RegenerateMsg(new_clock=new_clock, epoch=new_epoch,
+                              suspects=tuple(sorted(self.suspected)))
+        effects: List[Effect] = []
+        if regenerator == self.node_id:
+            effects.extend(self._mint(regen, now))
+        else:
+            effects.append(Send(regenerator, regen))
+        # Keep watching: regeneration itself might be lost.
+        effects.append(SetTimer((_SUSPECT, self.req_seq), self.config.regen_timeout))
+        return effects
+
+    # -- regeneration -------------------------------------------------------------------------
+
+    def _on_regenerate(self, msg: RegenerateMsg, now: float) -> List[Effect]:
+        return self._mint(msg, now)
+
+    def _mint(self, msg: RegenerateMsg, now: float) -> List[Effect]:
+        if msg.epoch <= self.epoch:
+            return []  # duplicate or raced regeneration: only one epoch wins
+        self.epoch = msg.epoch
+        self.suspected |= set(msg.suspects)
+        self.suspected.discard(self.node_id)
+        if self.has_token or self.lent_to is not None:
+            return []  # we already carry the lineage forward
+        self.has_token = True
+        self.clock = msg.new_clock
+        self.round_no = msg.new_clock // max(self.ring_size(), 1)
+        self.last_visit = msg.new_clock
+        effects: List[Effect] = [
+            Deliver("regenerated", (self.node_id, self.epoch)),
+            Deliver("token_visit", (self.node_id, self.clock)),
+        ]
+        effects.extend(self._advance(now))
+        return effects
+
+    def _on_loan_timeout(self, requester: int, now: float) -> List[Effect]:
+        if self.lent_to != requester:
+            return []
+        # The borrower crashed with our token: reclaim it under a new epoch.
+        self.lent_to = None
+        self.has_token = True
+        self.epoch += 1
+        self.suspected.add(requester)
+        effects: List[Effect] = [
+            Deliver("regenerated", (self.node_id, self.epoch))
+        ]
+        effects.extend(self._advance(now))
+        return effects
+
+    def _on_loan_return(self, msg: LoanReturnMsg, now: float) -> List[Effect]:
+        if self.lent_to is None:
+            return []  # reclaimed already; the borrower survived after all
+        effects = super()._on_loan_return(msg, now)
+        return effects

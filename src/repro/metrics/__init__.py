@@ -1,0 +1,29 @@
+"""Metrics: responsiveness (Definition 3), message counters, fairness
+auditing (Theorem 3), and summary statistics."""
+
+from repro.metrics.counters import MessageCounters
+from repro.metrics.fairness import FairnessAuditor
+from repro.metrics.responsiveness import ResponsivenessTracker
+from repro.metrics.tracing import TraceEvent, TraceRecorder
+from repro.metrics.stats import (
+    confidence_interval,
+    mean,
+    median,
+    percentile,
+    stdev,
+    summarize,
+)
+
+__all__ = [
+    "FairnessAuditor",
+    "MessageCounters",
+    "ResponsivenessTracker",
+    "TraceEvent",
+    "TraceRecorder",
+    "confidence_interval",
+    "mean",
+    "median",
+    "percentile",
+    "stdev",
+    "summarize",
+]

@@ -1,0 +1,61 @@
+"""Message accounting, split along the paper's expensive/cheap axis."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["MessageCounters"]
+
+
+class MessageCounters:
+    """Counts sent messages by concrete type and by reliability class."""
+
+    def __init__(self) -> None:
+        self.by_type: Dict[str, int] = {}
+        self.expensive = 0
+        self.cheap = 0
+
+    def on_send(self, src: int, dst: int, msg: object) -> None:
+        """Network ``on_send`` hook."""
+        name = type(msg).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+        if getattr(msg, "reliable", True):
+            self.expensive += 1
+        else:
+            self.cheap += 1
+
+    @property
+    def total(self) -> int:
+        """All messages sent."""
+        return self.expensive + self.cheap
+
+    def count(self, type_name: str) -> int:
+        """Messages of one concrete type (by class name)."""
+        return self.by_type.get(type_name, 0)
+
+    def token_passes(self) -> int:
+        """Rotation hops plus loans and returns — every token movement."""
+        return (
+            self.count("TokenMsg")
+            + self.count("LoanMsg")
+            + self.count("LoanReturnMsg")
+        )
+
+    def search_messages(self) -> int:
+        """All search/hint traffic (gimme, ask, adverts, probes)."""
+        return (
+            self.count("GimmeMsg")
+            + self.count("AskMsg")
+            + self.count("AdvertMsg")
+            + self.count("RequestMsg")
+            + self.count("ProbeMsg")
+            + self.count("ProbeReplyMsg")
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot for reporting."""
+        out = dict(self.by_type)
+        out["_expensive"] = self.expensive
+        out["_cheap"] = self.cheap
+        out["_total"] = self.total
+        return out

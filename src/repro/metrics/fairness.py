@@ -1,0 +1,71 @@
+"""Fairness auditing (paper Theorem 3).
+
+    "During the time when some node x wants the token and gets it, no one
+    node gets the token more than log N times, and there are no more than
+    N possessions of the token by other nodes."
+
+The auditor watches request/grant/visit events.  For every in-flight
+request it counts (a) grants to each *other* node and (b) token
+possessions (circulation visits + grants) by other nodes; when the request
+is finally granted it records the maxima.  Tests assert the Theorem 3
+bounds (with the protocol's constant slack) against these records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["FairnessAuditor"]
+
+
+class _Open:
+    __slots__ = ("node", "grants_by_other", "possessions_by_others")
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.grants_by_other: Dict[int, int] = {}
+        self.possessions_by_others = 0
+
+
+class FairnessAuditor:
+    """Records per-request fairness statistics."""
+
+    def __init__(self) -> None:
+        self._open: Dict[Tuple[int, int], _Open] = {}
+        #: (node, req_seq, max grants to any single other node,
+        #:  total possessions by others) per completed request
+        self.records: List[Tuple[int, int, int, int]] = []
+
+    def on_request(self, node: int, req_seq: int, now: float) -> None:
+        """Open an audit window for this request."""
+        self._open[(node, req_seq)] = _Open(node)
+
+    def on_grant(self, node: int, req_seq: int, now: float) -> None:
+        """Count this grant against every other open window; close the
+        granted request's own window and record its maxima."""
+        for key, entry in self._open.items():
+            if entry.node != node:
+                entry.grants_by_other[node] = entry.grants_by_other.get(node, 0) + 1
+                entry.possessions_by_others += 1
+        finished = self._open.pop((node, req_seq), None)
+        if finished is not None:
+            worst = max(finished.grants_by_other.values(), default=0)
+            self.records.append(
+                (node, req_seq, worst, finished.possessions_by_others)
+            )
+
+    def on_visit(self, node: int, now: float) -> None:
+        """A circulation visit counts as a possession by that node."""
+        for entry in self._open.values():
+            if entry.node != node:
+                entry.possessions_by_others += 1
+
+    def worst_single_node_grants(self) -> int:
+        """Max over requests of grants to any single other node while
+        the request waited (Theorem 3's log N bound)."""
+        return max((r[2] for r in self.records), default=0)
+
+    def worst_possessions(self) -> int:
+        """Max over requests of token possessions by others while the
+        request waited (Theorem 3's N bound)."""
+        return max((r[3] for r in self.records), default=0)

@@ -1,0 +1,91 @@
+"""Responsiveness measurement (paper Definition 3).
+
+    "The Responsiveness of a system is the maximum time period during
+    which at least one node requires the token and until the token is
+    given to a ready node."
+
+The tracker maintains the invariant behind that definition: a period opens
+when the system transitions from "no node ready" to "some node ready", and
+closes (producing one sample) every time *any* ready node is granted the
+token; if ready nodes remain, a new period opens immediately.  The paper's
+Section 4.3 plots the *average* of these samples; Definition 3 proper is
+their maximum — both are exposed.
+
+Per-request waiting time (request → own grant) is tracked separately: the
+paper is explicit that responsiveness is *not* average waiting time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["ResponsivenessTracker"]
+
+
+class ResponsivenessTracker:
+    """Streams request/grant events into responsiveness & waiting samples."""
+
+    def __init__(self) -> None:
+        self._ready_count = 0
+        self._period_start: Optional[float] = None
+        self._request_times: Dict[Tuple[int, int], float] = {}
+        self.responsiveness_samples: List[float] = []
+        self.waiting_samples: List[float] = []
+
+    # -- event ingestion ------------------------------------------------------
+
+    def on_request(self, node: int, req_seq: int, now: float) -> None:
+        """A node became ready."""
+        key = (node, req_seq)
+        if key in self._request_times:
+            raise SimulationError(f"duplicate request event {key}")
+        self._request_times[key] = now
+        self._ready_count += 1
+        if self._ready_count == 1:
+            self._period_start = now
+
+    def on_grant(self, node: int, req_seq: int, now: float) -> None:
+        """A ready node was given the token."""
+        key = (node, req_seq)
+        start = self._request_times.pop(key, None)
+        if start is None:
+            raise SimulationError(f"grant without request: {key}")
+        self.waiting_samples.append(now - start)
+        if self._period_start is None:
+            raise SimulationError("grant while no responsiveness period open")
+        self.responsiveness_samples.append(now - self._period_start)
+        self._ready_count -= 1
+        self._period_start = now if self._ready_count > 0 else None
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Requests not yet granted."""
+        return self._ready_count
+
+    def average_responsiveness(self) -> float:
+        """Mean of the Definition 3 period samples (Section 4.3's metric)."""
+        if not self.responsiveness_samples:
+            return 0.0
+        return sum(self.responsiveness_samples) / len(self.responsiveness_samples)
+
+    def max_responsiveness(self) -> float:
+        """Definition 3 proper: the worst period."""
+        return max(self.responsiveness_samples, default=0.0)
+
+    def average_waiting(self) -> float:
+        """Mean request-to-own-grant delay."""
+        if not self.waiting_samples:
+            return 0.0
+        return sum(self.waiting_samples) / len(self.waiting_samples)
+
+    def max_waiting(self) -> float:
+        """Worst request-to-own-grant delay."""
+        return max(self.waiting_samples, default=0.0)
+
+    def grants(self) -> int:
+        """Number of satisfied requests."""
+        return len(self.responsiveness_samples)

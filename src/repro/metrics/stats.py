@@ -1,0 +1,65 @@
+"""Small statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = ["mean", "stdev", "median", "percentile", "confidence_interval", "summarize"]
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def stdev(xs: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 when fewer than two samples."""
+    if len(xs) < 2:
+        return 0.0
+    m = mean(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / (len(xs) - 1))
+
+
+def median(xs: Sequence[float]) -> float:
+    """Median; 0.0 for an empty sequence."""
+    return percentile(xs, 50.0)
+
+
+def percentile(xs: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile ``p`` in [0, 100]."""
+    if not xs:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(xs)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def confidence_interval(xs: Sequence[float], z: float = 1.96) -> Tuple[float, float]:
+    """Normal-approximation CI for the mean (default 95%)."""
+    if not xs:
+        return (0.0, 0.0)
+    m = mean(xs)
+    half = z * stdev(xs) / math.sqrt(len(xs))
+    return (m - half, m + half)
+
+
+def summarize(xs: Sequence[float]) -> dict:
+    """Mean / sd / median / p95 / max / n in one dict."""
+    return {
+        "n": len(xs),
+        "mean": mean(xs),
+        "stdev": stdev(xs),
+        "median": median(xs),
+        "p95": percentile(xs, 95.0),
+        "max": max(xs, default=0.0),
+    }

@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate: kernel, network, node driver."""
+
+from repro.sim.driver import NodeDriver
+from repro.sim.kernel import Event, Simulator
+from repro.sim.network import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    Network,
+    UniformDelay,
+)
+
+__all__ = [
+    "ConstantDelay",
+    "DelayModel",
+    "Event",
+    "ExponentialDelay",
+    "Network",
+    "NodeDriver",
+    "Simulator",
+    "UniformDelay",
+]

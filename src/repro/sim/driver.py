@@ -1,0 +1,115 @@
+"""Discrete-event driver for sans-IO protocol cores.
+
+The driver owns the IO boundary: it attaches a core to the network,
+interprets its effects (sends, timers, application deliveries), and exposes
+``request``/``release`` entry points.  Application events are fanned out to
+subscriber callbacks — the cluster uses these for metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List
+
+from repro.core.base import ProtocolCore
+from repro.core.effects import CancelTimer, Deliver, Effect, Send, SetTimer, Trace
+from repro.errors import SimulationError
+from repro.sim.kernel import Event, Simulator
+from repro.sim.network import Network
+
+__all__ = ["NodeDriver"]
+
+
+class NodeDriver:
+    """Runs one protocol core inside the discrete-event simulation."""
+
+    def __init__(self, sim: Simulator, network: Network, core: ProtocolCore) -> None:
+        self.sim = sim
+        self.network = network
+        self.core = core
+        self.node_id = core.node_id
+        self._timers: Dict[Hashable, Event] = {}
+        self._subscribers: List[Callable[[int, str, tuple, float], None]] = []
+        self._crashed = False
+        network.attach(self.node_id, self._on_network_message)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[int, str, tuple, float], None]) -> None:
+        """Register ``callback(node_id, kind, payload, now)`` for application
+        events delivered by the core."""
+        self._subscribers.append(callback)
+
+    def start(self) -> None:
+        """Run the core's start handler (call once, after wiring)."""
+        self._apply(self.core.on_start(self.sim.now))
+
+    # -- application entry points ------------------------------------------------
+
+    def request(self) -> None:
+        """The application at this node asks for the token."""
+        if self._crashed:
+            return
+        self._apply(self.core.on_request(self.sim.now))
+
+    def release(self) -> None:
+        """The application releases a held grant."""
+        if self._crashed:
+            return
+        self._apply(self.core.on_release(self.sim.now))
+
+    # -- failure injection ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-stop this node: cancel timers, drop future deliveries."""
+        self._crashed = True
+        self.network.crash(self.node_id)
+        for event in self._timers.values():
+            event.cancel()
+        self._timers.clear()
+
+    def recover(self) -> None:
+        """Clear the crash flag (the core keeps its pre-crash state unless
+        the caller replaces it)."""
+        self._crashed = False
+        self.network.recover(self.node_id)
+
+    @property
+    def crashed(self) -> bool:
+        """True while this node is crash-stopped."""
+        return self._crashed
+
+    # -- effect interpretation ---------------------------------------------------
+
+    def _on_network_message(self, src: int, msg: object) -> None:
+        if self._crashed:
+            return
+        self._apply(self.core.on_message(src, msg, self.sim.now))
+
+    def _on_timer(self, key: Hashable) -> None:
+        if self._crashed:
+            return
+        self._timers.pop(key, None)
+        self._apply(self.core.on_timer(key, self.sim.now))
+
+    def _apply(self, effects: List[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.network.send(self.node_id, effect.dst, effect.msg)
+            elif isinstance(effect, SetTimer):
+                previous = self._timers.pop(effect.key, None)
+                if previous is not None:
+                    previous.cancel()
+                self._timers[effect.key] = self.sim.schedule(
+                    effect.delay, self._on_timer, effect.key
+                )
+            elif isinstance(effect, CancelTimer):
+                event = self._timers.pop(effect.key, None)
+                if event is not None:
+                    event.cancel()
+            elif isinstance(effect, Deliver):
+                for callback in self._subscribers:
+                    callback(self.node_id, effect.kind, effect.payload, self.sim.now)
+            elif isinstance(effect, Trace):
+                pass  # tracing is a no-op in the DES driver
+            else:
+                raise SimulationError(f"unknown effect {effect!r}")

@@ -1,0 +1,123 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper's performance model (Section 4) charges **zero time for rules
+affecting only local state and a constant time for message-passing rules**.
+The kernel realises that model: local handling runs synchronously at the
+current virtual time, message deliveries are events scheduled one delay
+ahead.  Event ordering is a ``(time, priority, seq)`` heap — ``seq`` makes
+runs bit-for-bit reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+class Event:
+    """A scheduled callback.  Cancelled events stay in the heap but are
+    skipped when popped (lazy deletion)."""
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int, fn: Callable, args: Tuple) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+
+class Simulator:
+    """A single-threaded virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[Event] = []
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, fn: Callable, *args: Any, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now.
+
+        Lower ``priority`` runs first among same-time events.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, priority, self._seq, fn, tuple(args))
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, fn, *args, priority=priority)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event."""
+        self._stopped = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Process events in order; return the number of events executed.
+
+        Stops when the queue is empty, when virtual time would exceed
+        ``until`` (the clock is then advanced exactly to ``until``), after
+        ``max_events``, or when :meth:`stop` is called from a handler.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    heapq.heappush(self._queue, event)
+                    self._now = until
+                    break
+                if event.time < self._now:
+                    raise SimulationError(
+                        f"event at t={event.time} is in the past (now={self._now})"
+                    )
+                self._now = event.time
+                event.fn(*event.args)
+                executed += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return executed

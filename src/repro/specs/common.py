@@ -1,0 +1,242 @@
+"""Shared term encodings for the paper's protocol specifications.
+
+Encoding conventions (uniform across all six systems):
+
+- Processor ids are ``Atom(int)`` drawn from ``0..n-1``; the ring successor
+  ``x⁺¹`` is ``(x+1) mod n`` (Figure 1's cycle graph).
+- A ``Q`` entry ``(x, d_x)`` is ``q(x, d)`` where ``d`` is a :class:`Seq` of
+  pending data; the paper's ``phi_x`` (empty request, left identity of
+  ``⊕``) is the empty sequence.  Following that identity, broadcast rules
+  *reset* the pair to ``q(x, ())`` — equivalent, modulo ``phi``, to the
+  paper's literal removal of the pair.
+- A datum is ``d(x, k)`` with a per-reduction fresh nonce ``k`` (rule 1's
+  ``new_x``).
+- A ``P`` entry ``(x, H_x)`` is ``p(x, H)``; histories are sequences of
+  events: data events ``d(x, k)`` and, for System BinarySearch, ring-visit
+  events ``visit(x)`` appended at each circulation hop.  The paper's
+  ``⊂_C`` comparison projects histories onto those circulation events.
+- Output messages ``(x, (y, m))`` are ``out(x, y, m)``; input messages are
+  ``in(x, y, m)`` ("x has received from y the message m").
+- Message payloads: ``token(H)`` — the token carrying the history;
+  ``loan(H)`` — the decorated ``ŷ`` token of rule 7 that must be returned
+  after use; ``gimme(n, H, z)`` — a binary-search request on behalf of
+  ``z`` with remaining span ``n`` and the requester's history snapshot;
+  ``ask(z)`` — System Search's undecorated search message ``tau_z``.
+- A trap ``(x, tau_z)`` in ``W`` is ``trap(x, z)``.
+- The no-token marker ``⊥`` is ``Atom("bot")``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import SpecError
+from repro.trs.terms import Atom, Bag, Seq, Struct, Term
+
+__all__ = [
+    "BOT",
+    "proc",
+    "q_pair",
+    "p_pair",
+    "datum",
+    "visit",
+    "out_msg",
+    "in_msg",
+    "token_msg",
+    "loan_msg",
+    "gimme_msg",
+    "ask_msg",
+    "trap",
+    "initial_q",
+    "initial_p",
+    "succ",
+    "pred",
+    "hop",
+    "project_ring",
+    "project_data",
+    "is_prefix",
+    "is_ring_prefix",
+    "next_nonce",
+    "pending_of",
+    "history_of",
+    "ids_of",
+]
+
+BOT = Atom("bot")
+
+
+def proc(x: int) -> Atom:
+    """The processor-id atom for ``x``."""
+    return Atom(x)
+
+
+def q_pair(x: int, data: Iterable[Term] = ()) -> Struct:
+    """A ``Q`` entry ``(x, d_x)``; empty data encodes ``phi_x``."""
+    return Struct("q", (proc(x), Seq(data)))
+
+
+def p_pair(x: int, history: Iterable[Term] = ()) -> Struct:
+    """A ``P`` entry ``(x, H_x)``."""
+    return Struct("p", (proc(x), Seq(history)))
+
+
+def datum(x: int, nonce: int) -> Struct:
+    """The ``k``-th fresh datum produced by node ``x`` (rule 1's new_x)."""
+    return Struct("d", (proc(x), Atom(nonce)))
+
+
+def visit(x: int) -> Struct:
+    """A ring-circulation event: the token was passed on by node ``x``."""
+    return Struct("visit", (proc(x),))
+
+
+def out_msg(x: int, y: int, payload: Term) -> Struct:
+    """``O`` entry: node ``x`` is sending ``payload`` to node ``y``."""
+    return Struct("out", (proc(x), proc(y), payload))
+
+
+def in_msg(x: int, y: int, payload: Term) -> Struct:
+    """``I`` entry: node ``x`` has received ``payload`` from node ``y``."""
+    return Struct("in", (proc(x), proc(y), payload))
+
+
+def token_msg(history: Seq) -> Struct:
+    """The token, carrying the global history."""
+    return Struct("token", (history,))
+
+
+def loan_msg(history: Seq) -> Struct:
+    """The decorated token of rule 7: must be returned to sender after use."""
+    return Struct("loan", (history,))
+
+
+def gimme_msg(n: int, history: Seq, z: int) -> Struct:
+    """BinarySearch request on behalf of ``z`` with remaining span ``n``."""
+    return Struct("gimme", (Atom(n), history, proc(z)))
+
+
+def ask_msg(z: int) -> Struct:
+    """System Search's plain search message ``tau_z``."""
+    return Struct("ask", (proc(z),))
+
+
+def trap(x: int, z: int) -> Struct:
+    """``W`` entry: node ``x`` holds a trap set on behalf of node ``z``."""
+    return Struct("trap", (proc(x), proc(z)))
+
+
+def initial_q(n: int) -> Bag:
+    """``||_{x in P} (x, phi_x)`` — every node with an empty request."""
+    return Bag([q_pair(x) for x in range(n)])
+
+
+def initial_p(n: int) -> Bag:
+    """``||_{x in P} (x, ∅)`` — every node with an empty local history."""
+    return Bag([p_pair(x) for x in range(n)])
+
+
+def succ(x: int, n: int, k: int = 1) -> int:
+    """``x⁺ᵏ`` on the ring of ``n`` nodes."""
+    return (x + k) % n
+
+
+def pred(x: int, n: int, k: int = 1) -> int:
+    """``x⁻ᵏ`` on the ring of ``n`` nodes."""
+    return (x - k) % n
+
+
+def hop(x: int, n: int, offset: int) -> int:
+    """``x⁺ᵒ`` for signed ``offset`` (negative = counter-clockwise)."""
+    return (x + offset) % n
+
+
+def project_ring(history: Seq) -> Seq:
+    """Project a history onto ring-circulation (``visit``) events — the
+    ``C`` of the paper's ``⊂_C`` relation."""
+    return Seq(
+        e for e in history if isinstance(e, Struct) and e.functor == "visit"
+    )
+
+
+def project_data(history: Seq) -> Seq:
+    """Project a history onto broadcast-data events (drops visits)."""
+    return Seq(e for e in history if isinstance(e, Struct) and e.functor == "d")
+
+
+def is_prefix(a: Seq, b: Seq) -> bool:
+    """The paper's ``A ⊂ B`` (prefix, non-strict)."""
+    return a.is_prefix_of(b)
+
+
+def is_ring_prefix(a: Seq, b: Seq) -> bool:
+    """The paper's ``A ⊂_C B``: prefix after projection onto ring events."""
+    return project_ring(a).is_prefix_of(project_ring(b))
+
+
+def next_nonce(binding, x: int) -> int:
+    """The next fresh datum index for node ``x``, derived from the state.
+
+    Rule 1's ``new_x`` must be fresh *and* deterministic from the state so
+    that refinement mappings commute exactly (the fine and coarse systems
+    generate identical datum terms).  We scan every term bound by the match
+    — rule 1 binds the entire state — for ``d(x, k)`` structs and return
+    ``1 + max(k)`` (0 when none exist).
+    """
+    best = -1
+    stack = [v for v in binding.values() if isinstance(v, Term)]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Struct):
+            if (
+                t.functor == "d"
+                and len(t.args) == 2
+                and t.args[0] == proc(x)
+                and isinstance(t.args[1], Atom)
+            ):
+                best = max(best, t.args[1].value)
+            stack.extend(t.args)
+        elif isinstance(t, Seq):
+            stack.extend(t.items)
+        elif isinstance(t, Bag):
+            stack.extend(t.items)
+    return best + 1
+
+
+def _entry(bag_term: Bag, functor: str, x: int) -> Struct:
+    for item in bag_term:
+        if (
+            isinstance(item, Struct)
+            and item.functor == functor
+            and item.args[0] == proc(x)
+        ):
+            return item
+    raise SpecError(f"no {functor!r} entry for node {x} in {bag_term!r}")
+
+
+def pending_of(q: Bag, x: int) -> Seq:
+    """Return node ``x``'s pending data sequence from a ``Q`` bag."""
+    entry = _entry(q, "q", x)
+    data = entry.args[1]
+    if not isinstance(data, Seq):
+        raise SpecError(f"malformed Q entry: {entry!r}")
+    return data
+
+
+def history_of(p: Bag, x: int) -> Seq:
+    """Return node ``x``'s local history from a ``P`` bag."""
+    entry = _entry(p, "p", x)
+    history = entry.args[1]
+    if not isinstance(history, Seq):
+        raise SpecError(f"malformed P entry: {entry!r}")
+    return history
+
+
+def ids_of(bag_term: Bag, functor: str) -> List[int]:
+    """Return the node ids of all ``functor`` entries in a bag."""
+    out = []
+    for item in bag_term:
+        if isinstance(item, Struct) and item.functor == functor:
+            first = item.args[0]
+            if isinstance(first, Atom):
+                out.append(first.value)
+    return sorted(out)

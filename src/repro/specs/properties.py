@@ -1,0 +1,143 @@
+"""Safety-property checkers for the specification systems.
+
+Two machine-checkable properties:
+
+- the **prefix property** (Definition 2) — every history present anywhere
+  in the system (local ``P`` entries, the global ``H`` where one exists,
+  and histories carried by in-flight token / loan / gimme messages) is
+  prefix-comparable with every other, i.e. the histories form a chain whose
+  maximum is the global history;
+- **token uniqueness** — in the message-passing systems exactly one token
+  exists: either some node holds it (``T ≠ ⊥``) or exactly one token/loan
+  message is in flight.
+
+Checkers accept states of any of the six systems, dispatching on the state
+functor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import SpecError
+from repro.specs.common import BOT
+from repro.trs.terms import Bag, Seq, Struct, Term
+
+__all__ = [
+    "components",
+    "collect_histories",
+    "prefix_chain",
+    "prefix_property",
+    "token_count",
+    "token_uniqueness",
+    "global_history",
+]
+
+_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "S": ("Q", "H"),
+    "S1": ("Q", "H", "P"),
+    "Tok": ("Q", "H", "P", "T"),
+    "MP": ("Q", "P", "T", "I", "O"),
+    "Srch": ("Q", "P", "T", "I", "O", "W"),
+    "BS": ("Q", "P", "T", "I", "O", "W"),
+}
+
+_HISTORY_PAYLOADS = ("token", "loan")
+
+
+def components(state: Term) -> Dict[str, Term]:
+    """Return the named components of a system state term."""
+    if not isinstance(state, Struct) or state.functor not in _FIELDS:
+        raise SpecError(f"not a known system state: {state!r}")
+    names = _FIELDS[state.functor]
+    if len(state.args) != len(names):
+        raise SpecError(f"malformed {state.functor} state: {state!r}")
+    return dict(zip(names, state.args))
+
+
+def _message_histories(msgs: Bag) -> List[Seq]:
+    """Histories carried by in-flight messages (token, loan, gimme)."""
+    out: List[Seq] = []
+    for m in msgs:
+        if not (isinstance(m, Struct) and m.functor in ("in", "out")):
+            continue
+        payload = m.args[2]
+        if isinstance(payload, Struct):
+            if payload.functor in _HISTORY_PAYLOADS:
+                out.append(payload.args[0])
+            elif payload.functor == "gimme":
+                out.append(payload.args[1])
+    return out
+
+
+def collect_histories(state: Term) -> List[Seq]:
+    """Every history present in the state, in no particular order."""
+    comp = components(state)
+    histories: List[Seq] = []
+    if "H" in comp:
+        histories.append(comp["H"])
+    if "P" in comp:
+        for entry in comp["P"]:
+            if isinstance(entry, Struct) and entry.functor == "p":
+                histories.append(entry.args[1])
+    for field in ("I", "O"):
+        if field in comp:
+            histories.extend(_message_histories(comp[field]))
+    return histories
+
+
+def prefix_chain(histories: List[Seq]) -> bool:
+    """True when the histories are pairwise prefix-comparable.
+
+    Sorting by length makes the check linear in comparisons: a chain exists
+    iff each history is a prefix of the next-longer one.
+    """
+    ordered = sorted(histories, key=len)
+    for a, b in zip(ordered, ordered[1:]):
+        if not a.is_prefix_of(b):
+            return False
+    return True
+
+
+def prefix_property(state: Term) -> bool:
+    """Definition 2, machine-checked: local histories form a prefix chain
+    dominated by the global history."""
+    return prefix_chain(collect_histories(state))
+
+
+def global_history(state: Term) -> Seq:
+    """The maximal history in the state (the global history).
+
+    For System S/S1/Token this is the ``H`` component; for the distributed
+    systems it is the longest history present (the token's).
+    """
+    comp = components(state)
+    if "H" in comp:
+        return comp["H"]
+    histories = collect_histories(state)
+    if not histories:
+        return Seq()
+    return max(histories, key=len)
+
+
+def token_count(state: Term) -> int:
+    """The number of tokens in the system (held + in flight)."""
+    comp = components(state)
+    if "T" not in comp:
+        raise SpecError(f"{state.functor} has no token component")
+    count = 0 if comp["T"] == BOT else 1
+    for field in ("I", "O"):
+        if field not in comp:
+            continue
+        for m in comp[field]:
+            if not (isinstance(m, Struct) and m.functor in ("in", "out")):
+                continue
+            payload = m.args[2]
+            if isinstance(payload, Struct) and payload.functor in _HISTORY_PAYLOADS:
+                count += 1
+    return count
+
+
+def token_uniqueness(state: Term) -> bool:
+    """Exactly one token exists (trivially true for System Token)."""
+    return token_count(state) == 1

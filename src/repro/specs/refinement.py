@@ -1,0 +1,125 @@
+"""Executable refinement mappings between the specification systems.
+
+The paper proves each system safe by mapping its states to a previously
+proven system and showing every step is simulated there (Lemmas 1–3,
+Theorem 1).  This module makes those arguments *machine-checkable*: each
+mapping is a state function, and :func:`check_refinement` verifies, along a
+concrete reduction of the fine system, that every transition's image is
+reachable in the coarse system within a small number of steps (0 steps =
+stuttering, e.g. pure message transmission).
+
+Mappings implemented:
+
+- ``s1_to_s`` — forget ``P`` (Lemma 1's trivial mapping).
+- ``token_to_s1`` — forget ``T`` (Lemma 2: Token's transitions are a subset
+  of S1's; its combined rule 2 is simulated by S1's rules 2 then 3).
+- ``mp_to_s1`` — the drained-state idea of Lemma 3 made executable: the
+  global ``H`` is the maximal local history (the token holder's, which
+  always equals the in-flight token history since senders update their
+  local history at send time).
+- ``search_to_s1`` — additionally forgets ``W`` and the search messages.
+- ``binary_search_to_s1`` — as above, plus projection of histories onto
+  data events (the ring-visit events that drive ``⊂_C`` are performance
+  bookkeeping invisible to S1) — the executable core of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import RefinementError
+from repro.specs.common import project_data
+from repro.specs.properties import components
+from repro.trs.engine import Rewriter
+from repro.trs.terms import Bag, Seq, Struct, Term
+from repro.trs.trace import Reduction
+
+__all__ = [
+    "s1_to_s",
+    "token_to_s1",
+    "mp_to_s1",
+    "search_to_s1",
+    "binary_search_to_s1",
+    "check_refinement",
+]
+
+
+def s1_to_s(state: Term) -> Term:
+    """Lemma 1's mapping: ignore the local-history component ``P``."""
+    comp = components(state)
+    return Struct("S", (comp["Q"], comp["H"]))
+
+
+def token_to_s1(state: Term) -> Term:
+    """Lemma 2's mapping: forget who holds the token."""
+    comp = components(state)
+    return Struct("S1", (comp["Q"], comp["H"], comp["P"]))
+
+
+def _max_local_history(p: Bag) -> Seq:
+    best = Seq()
+    for entry in p:
+        if isinstance(entry, Struct) and entry.functor == "p":
+            h = entry.args[1]
+            if len(h) > len(best):
+                best = h
+    return best
+
+
+def mp_to_s1(state: Term) -> Term:
+    """Lemma 3's drained-state mapping, executably: ``H`` is the maximal
+    local history and the message sets are forgotten."""
+    comp = components(state)
+    return Struct("S1", (comp["Q"], _max_local_history(comp["P"]), comp["P"]))
+
+
+def search_to_s1(state: Term) -> Term:
+    """System Search refines S1 the same way (traps are performance-only)."""
+    return mp_to_s1(state)
+
+
+def _project_p(p: Bag) -> Bag:
+    entries = []
+    for entry in p:
+        if isinstance(entry, Struct) and entry.functor == "p":
+            entries.append(Struct("p", (entry.args[0], project_data(entry.args[1]))))
+        else:
+            entries.append(entry)
+    return Bag(entries)
+
+
+def binary_search_to_s1(state: Term) -> Term:
+    """Theorem 1's mapping: forget search state and project histories onto
+    broadcast-data events (ring-visit stamps are performance bookkeeping)."""
+    comp = components(state)
+    projected = _project_p(comp["P"])
+    return Struct("S1", (comp["Q"], _max_local_history(projected), projected))
+
+
+def check_refinement(
+    reduction: Reduction,
+    mapping: Callable[[Term], Term],
+    coarse: Rewriter,
+    max_depth: int = 2,
+    name: Optional[str] = None,
+) -> int:
+    """Verify that ``mapping`` carries every transition of ``reduction``
+    into a ≤ ``max_depth``-step path of the ``coarse`` system.
+
+    Returns the number of non-stuttering simulated transitions.  Raises
+    :class:`RefinementError` identifying the first failing step.
+    """
+    label = name or getattr(mapping, "__name__", "mapping")
+    simulated = 0
+    for idx, (pre, step) in enumerate(reduction.transitions()):
+        image_pre = mapping(pre)
+        image_post = mapping(step.state)
+        if image_pre == image_post:
+            continue  # stuttering step
+        if not coarse.can_reach(image_pre, image_post, max_depth):
+            raise RefinementError(
+                f"{label}: step {idx} (rule {step.rule_name!r}) is not "
+                f"simulated by the coarse system within {max_depth} steps"
+            )
+        simulated += 1
+    return simulated

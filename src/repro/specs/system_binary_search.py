@@ -1,0 +1,352 @@
+"""System BinarySearch — ring rotation + logarithmic token search
+(paper Figure 7).
+
+State: ``BS(Q, P, T, I, O, W)``.  Rules 1–3 are System Search's; the rest:
+
+- **Rule 4** — circular rotation: the holder broadcasts pending data,
+  appends a ``visit(x)`` ring-circulation event, and passes the token to
+  ``x⁺¹``.  The visit events are the alphabet ``C`` that the ``⊂_C``
+  history comparison projects onto.
+- **Rule 5** — a requester sets its own trap and launches a search
+  "directly across the ring": ``gimme(span, H_x, x)`` to ``x⁺ˢ`` with the
+  initial span ``s = ⌊N/2⌋``.
+- **Rule 6** — a node receiving ``gimme(s, H_z, z)`` sets a local trap for
+  ``z`` and forwards the search half as far: to ``x⁻ˢᐟ²`` when its own
+  history is a ring-prefix of the requester's (the token passed the
+  requester more recently, so it lies behind — Figure 8a), otherwise to
+  ``x⁺ˢᐟ²`` (Figure 8b).  When the span reaches zero the search is absorbed
+  (rule 6a): the trap alone will catch the rotating token.
+- **Rule 7** — a holder with a trap *loans* the token (the decorated ``ŷ``)
+  to the trapped requester; the loan must be returned to the sender so the
+  rotation resumes where it was intercepted.
+- **Rule 8** — the requester uses the loaned token (broadcasting its
+  pending data) and immediately returns it to the lender.
+
+The span interpretation makes the probe offsets from the requester
+``N/2, ±N/4, ±N/8, …`` — a binary search over the ring costing at most
+``⌈log₂ N⌉`` forwards per request (Lemma 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.specs.common import (
+    next_nonce,
+    BOT,
+    datum,
+    hop,
+    initial_p,
+    initial_q,
+    is_ring_prefix,
+    proc,
+    succ,
+    token_msg,
+    visit,
+)
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.terms import Atom, Bag, Seq, Struct, Term, Var, Wildcard
+
+__all__ = ["STATE", "initial_state", "make_rules", "make_system"]
+
+STATE = "BS"
+
+
+def _q(x: Term, d: Term) -> Struct:
+    return Struct("q", (x, d))
+
+
+def _p(x: Term, h: Term) -> Struct:
+    return Struct("p", (x, h))
+
+
+def _out(x: Term, y: Term, m: Term) -> Struct:
+    return Struct("out", (x, y, m))
+
+
+def _in(x: Term, y: Term, m: Term) -> Struct:
+    return Struct("in", (x, y, m))
+
+
+def _token(h: Term) -> Struct:
+    return Struct("token", (h,))
+
+
+def _loan(h: Term) -> Struct:
+    return Struct("loan", (h,))
+
+
+def _gimme(n: Term, h: Term, z: Term) -> Struct:
+    return Struct("gimme", (n, h, z))
+
+
+def _trap(x: Term, z: Term) -> Struct:
+    return Struct("trap", (x, z))
+
+
+def _state(q, p, t, i, o, w) -> Struct:
+    return Struct(STATE, (q, p, t, i, o, w))
+
+
+def initial_state(n: int, holder: int = 0) -> Struct:
+    """All requests/histories empty; token at ``holder``; no traps."""
+    return _state(initial_q(n), initial_p(n), proc(holder), Bag(), Bag(), Bag())
+
+
+def rule_1() -> Rule:
+    """Rule 1: queue a fresh datum at some node."""
+    def where(binding, ctx: RuleContext):
+        x = binding["x"].value
+        return {"d2": binding["d"].append(datum(x, next_nonce(binding, x)))}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Var("P"), Var("T"), Var("I"), Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Var("d2"))], rest=Var("Q")),
+        Var("P"), Var("T"), Var("I"), Var("O"), Var("W"),
+    )
+    return Rule("1", lhs, rhs, where=where)
+
+
+def rule_2() -> Rule:
+    """Rule 2: transmit an in-flight message."""
+    lhs = _state(
+        Var("Q"), Var("P"), Var("T"), Var("I"),
+        Bag([_out(Var("x"), Var("y"), Var("m"))], rest=Var("O")), Var("W"),
+    )
+    rhs = _state(
+        Var("Q"), Var("P"), Var("T"),
+        Bag([_in(Var("y"), Var("x"), Var("m"))], rest=Var("I")),
+        Var("O"), Var("W"),
+    )
+    return Rule("2", lhs, rhs)
+
+
+def rule_3() -> Rule:
+    """Rule 3: receive the rotating token and become the holder."""
+    lhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Wildcard())], rest=Var("P")),
+        BOT,
+        Bag([_in(Var("x"), Var("y"), _token(Var("H")))], rest=Var("I")),
+        Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("x"), Var("I"), Var("O"), Var("W"),
+    )
+    return Rule("3", lhs, rhs)
+
+
+def rule_4(n: int) -> Rule:
+    """Rule 4: circular rotation — broadcast, stamp a visit, pass to x⁺¹."""
+    def where(binding, ctx):
+        x = binding["x"].value
+        h2 = binding["H"].extend(binding["d"].items).append(visit(x))
+        return {"H2": h2, "tok": token_msg(h2), "y": proc(succ(x, n))}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("x"), Var("I"), Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Seq())], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H2"))], rest=Var("P")),
+        BOT, Var("I"),
+        Bag([_out(Var("x"), Var("y"), Var("tok"))], rest=Var("O")),
+        Var("W"),
+    )
+    return Rule("4", lhs, rhs, where=where)
+
+
+def rule_5(n: int, restricted: bool) -> Rule:
+    """Rule 5: launch a binary search across the ring and trap locally.
+
+    Restricted variant: fire only when the node has pending data and no own
+    trap yet (single outstanding request, Section 4.4) — the default for
+    executable reductions; the unrestricted rule may fire at any time, as in
+    the paper.
+    """
+    def where(binding, ctx):
+        x = binding["x"].value
+        span = n // 2
+        if span < 1:
+            return None
+        target = hop(x, n, span)
+        return {
+            "y": proc(target),
+            "g": _gimme(Atom(span), binding["H"], proc(x)),
+        }
+
+    guard = None
+    if restricted:
+        def guard(binding, ctx):
+            x = binding["x"]
+            if len(binding["d"]) == 0:
+                return False
+            return _trap(x, x) not in binding["W"]
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("T"), Var("I"), Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("T"), Var("I"),
+        Bag([_out(Var("x"), Var("y"), Var("g"))], rest=Var("O")),
+        Bag([_trap(Var("x"), Var("x"))], rest=Var("W")),
+    )
+    return Rule("5", lhs, rhs, guard=guard, where=where)
+
+
+def rule_6(n: int):
+    """Rule 6 (+ absorbing 6a): trap locally, halve the span, and forward
+    in the direction determined by the ``⊂_C`` history comparison."""
+    lhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("T"),
+        Bag([_in(Var("x"), Var("y"), _gimme(Var("s"), Var("Hz"), Var("z")))],
+            rest=Var("I")),
+        Var("O"), Var("W"),
+    )
+
+    def fwd_guard(binding, ctx):
+        return binding["s"].value // 2 >= 1 and binding["x"] != binding["z"]
+
+    def fwd_where(binding, ctx):
+        x = binding["x"].value
+        span = binding["s"].value // 2
+        h, hz = binding["H"], binding["Hz"]
+        if is_ring_prefix(h, hz):
+            # Figure 8(a): the token passed the requester after us — it is
+            # behind, continue counter-clockwise.
+            target = hop(x, n, -span)
+        elif is_ring_prefix(hz, h):
+            # Figure 8(b): we saw the token after the requester — it is
+            # ahead, continue clockwise.
+            target = hop(x, n, span)
+        else:
+            # Histories are incomparable only if safety were broken.
+            return None
+        return {
+            "u": proc(target),
+            "g2": _gimme(Atom(span), binding["Hz"], binding["z"]),
+        }
+
+    fwd_rhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("T"), Var("I"),
+        Bag([_out(Var("x"), Var("u"), Var("g2"))], rest=Var("O")),
+        Bag([_trap(Var("x"), Var("z"))], rest=Var("W")),
+    )
+    forward = Rule("6", lhs, fwd_rhs, guard=fwd_guard, where=fwd_where)
+
+    def absorb_guard(binding, ctx):
+        return binding["s"].value // 2 < 1 and binding["x"] != binding["z"]
+
+    absorb_rhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("T"), Var("I"), Var("O"),
+        Bag([_trap(Var("x"), Var("z"))], rest=Var("W")),
+    )
+    absorb = Rule("6a", lhs, absorb_rhs, guard=absorb_guard)
+
+    def self_guard(binding, ctx):
+        return binding["x"] == binding["z"]
+
+    self_rhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("T"), Var("I"), Var("O"), Var("W"),
+    )
+    self_absorb = Rule("6s", lhs, self_rhs, guard=self_guard)
+    return forward, absorb, self_absorb
+
+
+def rule_7() -> Rule:
+    """Rule 7: loan the token to a trapped requester (decorated ŷ)."""
+    def guard(binding, ctx):
+        return binding["x"] != binding["y"]
+
+    lhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("x"), Var("I"), Var("O"),
+        Bag([_trap(Var("x"), Var("y"))], rest=Var("W")),
+    )
+    rhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        BOT, Var("I"),
+        Bag([_out(Var("x"), Var("y"), _loan(Var("H")))], rest=Var("O")),
+        Var("W"),
+    )
+    return Rule("7", lhs, rhs, guard=guard)
+
+
+def rule_7s() -> Rule:
+    """Rule 7s: a holder clears its own trap (satisfied locally)."""
+    lhs = _state(
+        Var("Q"), Var("P"), Var("x"), Var("I"), Var("O"),
+        Bag([_trap(Var("x"), Var("x"))], rest=Var("W")),
+    )
+    rhs = _state(Var("Q"), Var("P"), Var("x"), Var("I"), Var("O"), Var("W"))
+    return Rule("7s", lhs, rhs)
+
+
+def rule_8() -> Rule:
+    """Rule 8: use the loaned token (broadcast) and return it to sender."""
+    def where(binding, ctx):
+        h2 = binding["H"].extend(binding["d"].items)
+        return {"H2": h2, "tok": token_msg(h2)}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Bag([_p(Var("x"), Wildcard())], rest=Var("P")),
+        BOT,
+        Bag([_in(Var("x"), Var("y"), _loan(Var("H")))], rest=Var("I")),
+        Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Seq())], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H2"))], rest=Var("P")),
+        BOT, Var("I"),
+        Bag([_out(Var("x"), Var("y"), Var("tok"))], rest=Var("O")),
+        Var("W"),
+    )
+    return Rule("8", lhs, rhs, where=where)
+
+
+def make_rules(n: int, restricted: bool = True) -> RuleSet:
+    """The 8 paper rules (plus the absorbing/self-service helpers 6a/6s/7s)."""
+    forward, absorb, self_absorb = rule_6(n)
+    return RuleSet([
+        rule_1(),
+        rule_2(),
+        rule_3(),
+        rule_4(n),
+        rule_5(n, restricted),
+        forward,
+        absorb,
+        self_absorb,
+        rule_7(),
+        rule_7s(),
+        rule_8(),
+    ])
+
+
+def make_system(
+    n: int, restricted: bool = True, holder: int = 0, ctx: Optional[RuleContext] = None
+):
+    """Return ``(rewriter, initial_state)`` for System BinarySearch."""
+    return Rewriter(make_rules(n, restricted), ctx), initial_state(n, holder)

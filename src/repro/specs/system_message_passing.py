@@ -1,0 +1,165 @@
+"""System Message-Passing — a distributed protocol (paper Figure 5).
+
+State: ``MP(Q, P, T, I, O)``.  The global history is no longer a state
+component: it travels inside the token message.  ``O`` holds in-flight
+output messages ``out(x, y, m)`` ("x sending m to y"); ``I`` holds received
+messages ``in(x, y, m)`` ("x has received m from y"); ``T`` is the holder
+or ``⊥`` while the token is in transit.
+
+- **Rule 1** — queue a fresh datum.
+- **Rule 2** — transmission: move ``out(x, y, m)`` to ``in(y, x, m)``.
+- **Rule 3** — the holder broadcasts (appending pending data to the token's
+  history), sets ``T = ⊥`` and sends the token to some node ``y``.
+- **Rule 4** — a node receives the token, adopts its history as the local
+  prefix history, and becomes the holder.
+- **Rule 3'** — the circular-rotation restriction of rule 3:
+  ``y = x⁺¹`` (used for the Lemma 4 O(N)-responsiveness guarantee).
+
+Lemma 3: System Message-Passing satisfies the prefix property (drained-state
+mapping; executable version in :mod:`repro.specs.refinement` maps to
+System S1 with the maximal history as ``H``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.specs.common import (
+    next_nonce,
+    BOT,
+    datum,
+    initial_p,
+    initial_q,
+    proc,
+    succ,
+    token_msg,
+)
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.terms import Bag, Seq, Struct, Term, Var, Wildcard
+
+__all__ = ["STATE", "initial_state", "make_rules", "make_system"]
+
+STATE = "MP"
+
+
+def _q(x: Term, d: Term) -> Struct:
+    return Struct("q", (x, d))
+
+
+def _p(x: Term, h: Term) -> Struct:
+    return Struct("p", (x, h))
+
+
+def _out(x: Term, y: Term, m: Term) -> Struct:
+    return Struct("out", (x, y, m))
+
+
+def _in(x: Term, y: Term, m: Term) -> Struct:
+    return Struct("in", (x, y, m))
+
+
+def _token(h: Term) -> Struct:
+    return Struct("token", (h,))
+
+
+def _state(q: Term, p: Term, t: Term, i: Term, o: Term) -> Struct:
+    return Struct(STATE, (q, p, t, i, o))
+
+
+def initial_state(n: int, holder: int = 0) -> Struct:
+    """``(||_x (x, phi_x), ||_x (x, ∅), holder, ∅, ∅)``."""
+    return _state(initial_q(n), initial_p(n), proc(holder), Bag(), Bag())
+
+
+def rule_1() -> Rule:
+    """Rule 1: queue a fresh datum at some node."""
+    def where(binding, ctx: RuleContext):
+        x = binding["x"].value
+        return {"d2": binding["d"].append(datum(x, next_nonce(binding, x)))}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Var("P"), Var("T"), Var("I"), Var("O"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Var("d2"))], rest=Var("Q")),
+        Var("P"), Var("T"), Var("I"), Var("O"),
+    )
+    return Rule("1", lhs, rhs, where=where)
+
+
+def rule_2() -> Rule:
+    """Rule 2: transmit — an output message becomes the peer's input."""
+    lhs = _state(
+        Var("Q"), Var("P"), Var("T"), Var("I"),
+        Bag([_out(Var("x"), Var("y"), Var("m"))], rest=Var("O")),
+    )
+    rhs = _state(
+        Var("Q"), Var("P"), Var("T"),
+        Bag([_in(Var("y"), Var("x"), Var("m"))], rest=Var("I")),
+        Var("O"),
+    )
+    return Rule("2", lhs, rhs)
+
+
+def rule_3(n: int, ring: bool) -> Rule:
+    """Rule 3 (or 3' with ``ring=True``): the holder broadcasts and sends
+    the token onward; ``T`` becomes ``⊥`` while the token is in flight."""
+    def where(binding, ctx):
+        h2 = binding["H"].extend(binding["d"].items)
+        return {"H2": h2, "tok": _token_ground(h2)}
+
+    def _token_ground(h2):
+        return token_msg(h2)
+
+    def choices(binding, ctx):
+        x = binding["x"].value
+        if ring:
+            yield {"y": proc(succ(x, n))}
+        else:
+            for y in range(n):
+                yield {"y": proc(y)}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("x"), Var("I"), Var("O"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Seq())], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H2"))], rest=Var("P")),
+        BOT, Var("I"),
+        Bag([_out(Var("x"), Var("y"), Var("tok"))], rest=Var("O")),
+    )
+    name = "3'" if ring else "3"
+    return Rule(name, lhs, rhs, where=where, choices=choices)
+
+
+def rule_4() -> Rule:
+    """Rule 4: receive the token; adopt its history; become the holder."""
+    lhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Wildcard())], rest=Var("P")),
+        BOT,
+        Bag([_in(Var("x"), Var("y"), _token(Var("H")))], rest=Var("I")),
+        Var("O"),
+    )
+    rhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("x"), Var("I"), Var("O"),
+    )
+    return Rule("4", lhs, rhs)
+
+
+def make_rules(n: int, ring: bool = False) -> RuleSet:
+    """The four rules of System Message-Passing (rule 3 or 3')."""
+    return RuleSet([rule_1(), rule_2(), rule_3(n, ring), rule_4()])
+
+
+def make_system(
+    n: int, ring: bool = False, holder: int = 0, ctx: Optional[RuleContext] = None
+):
+    """Return ``(rewriter, initial_state)`` for System Message-Passing."""
+    return Rewriter(make_rules(n, ring), ctx), initial_state(n, holder)

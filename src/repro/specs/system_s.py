@@ -1,0 +1,88 @@
+"""System S — the base, abstract protocol (paper Figure 2).
+
+State: ``S(Q, H)`` where ``Q`` is the bag of ``(x, d_x)`` pairs and ``H`` is
+the ordered global history of broadcasts.
+
+- **Rule 1** — a node wishing to broadcast appends a fresh datum to its
+  pending data: ``(Q|(x,d_x), -) -> (Q|(x, d_x ⊕ new_x), -)``.
+- **Rule 2** — some node's data is broadcast by appending it to the global
+  history: ``(Q|(x,d_x), H) -> (Q|(x,phi_x), H ⊕ d_x)``.  Following the
+  ``phi``-identity convention (see :mod:`repro.specs.common`) the pair is
+  reset to the empty request rather than removed; the two readings are
+  equivalent modulo ``phi`` and resetting keeps the refinements from the
+  later systems exact.
+
+System S trivially satisfies the prefix property (there are no local
+histories yet); it is the safety anchor every refinement maps back to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.specs.common import datum, initial_q, next_nonce
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.terms import Bag, Seq, Struct, Term, Var
+
+__all__ = ["STATE", "initial_state", "make_rules", "make_system"]
+
+STATE = "S"
+
+
+def _pair(x: Term, d: Term) -> Struct:
+    return Struct("q", (x, d))
+
+
+def _state(q: Term, h: Term) -> Struct:
+    return Struct(STATE, (q, h))
+
+
+def initial_state(n: int) -> Struct:
+    """``(||_x (x, phi_x), ∅)``."""
+    return _state(initial_q(n), Seq())
+
+
+def _new_datum(binding, ctx: RuleContext):
+    x = binding["x"].value
+    return {"d2": binding["d"].append(datum(x, next_nonce(binding, x)))}
+
+
+def _broadcast(binding, ctx: RuleContext):
+    h = binding["H"]
+    d = binding["d"]
+    return {"H2": h.extend(d.items)}
+
+
+def rule_1() -> Rule:
+    """Rule 1: queue a fresh datum at some node."""
+    lhs = _state(Bag([_pair(Var("x"), Var("d"))], rest=Var("Q")), Var("H"))
+    rhs = _state(Bag([_pair(Var("x"), Var("d2"))], rest=Var("Q")), Var("H"))
+    return Rule("1", lhs, rhs, where=_new_datum)
+
+
+def rule_2(restricted: bool) -> Rule:
+    """Rule 2: broadcast some node's pending data into the global history.
+
+    The restricted variant fires only when there is data to broadcast,
+    pruning stuttering steps from reductions; every restricted behaviour is
+    an unrestricted behaviour.
+    """
+    lhs = _state(Bag([_pair(Var("x"), Var("d"))], rest=Var("Q")), Var("H"))
+    rhs = _state(Bag([_pair(Var("x"), Seq())], rest=Var("Q")), Var("H2"))
+    guard = None
+    if restricted:
+        def guard(binding, ctx):
+            return len(binding["d"]) > 0
+
+    return Rule("2", lhs, rhs, guard=guard, where=_broadcast)
+
+
+def make_rules(restricted: bool = False) -> RuleSet:
+    """The two rules of System S."""
+    return RuleSet([rule_1(), rule_2(restricted)])
+
+
+def make_system(n: int, restricted: bool = False, ctx: Optional[RuleContext] = None):
+    """Return ``(rewriter, initial_state)`` for an ``n``-node System S."""
+    return Rewriter(make_rules(restricted), ctx), initial_state(n)

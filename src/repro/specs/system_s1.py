@@ -1,0 +1,86 @@
+"""System S1 — local histories (paper Figure 3).
+
+State: ``S1(Q, H, P)``.  ``P`` collects the local prefix-history variables
+``(i, H_i)``.  Rules 1 and 2 are System S's rules with the extra field; the
+new **rule 3** copies the global history into some node's local history at
+any time — *when* the copy happens is purely a performance concern
+(Section 3.2), so the rule is unconstrained.
+
+Lemma 1: S1 satisfies the prefix property (map states to System S by
+ignoring ``P``; see :mod:`repro.specs.refinement`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.specs.common import datum, initial_p, initial_q, next_nonce
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.terms import Bag, Seq, Struct, Term, Var, Wildcard
+
+__all__ = ["STATE", "initial_state", "make_rules", "make_system"]
+
+STATE = "S1"
+
+
+def _q(x: Term, d: Term) -> Struct:
+    return Struct("q", (x, d))
+
+
+def _p(x: Term, h: Term) -> Struct:
+    return Struct("p", (x, h))
+
+
+def _state(q: Term, h: Term, p: Term) -> Struct:
+    return Struct(STATE, (q, h, p))
+
+
+def initial_state(n: int) -> Struct:
+    """``(||_x (x, phi_x), ∅, ||_x (x, ∅))``."""
+    return _state(initial_q(n), Seq(), initial_p(n))
+
+
+def rule_1() -> Rule:
+    """Rule 1: queue a fresh datum at some node."""
+    def where(binding, ctx: RuleContext):
+        x = binding["x"].value
+        return {"d2": binding["d"].append(datum(x, next_nonce(binding, x)))}
+
+    lhs = _state(Bag([_q(Var("x"), Var("d"))], rest=Var("Q")), Var("H"), Var("P"))
+    rhs = _state(Bag([_q(Var("x"), Var("d2"))], rest=Var("Q")), Var("H"), Var("P"))
+    return Rule("1", lhs, rhs, where=where)
+
+
+def rule_2(restricted: bool) -> Rule:
+    """Rule 2: broadcast pending data into the global history."""
+    def where(binding, ctx):
+        return {"H2": binding["H"].extend(binding["d"].items)}
+
+    guard = None
+    if restricted:
+        def guard(binding, ctx):
+            return len(binding["d"]) > 0
+
+    lhs = _state(Bag([_q(Var("x"), Var("d"))], rest=Var("Q")), Var("H"), Var("P"))
+    rhs = _state(Bag([_q(Var("x"), Seq())], rest=Var("Q")), Var("H2"), Var("P"))
+    return Rule("2", lhs, rhs, guard=guard, where=where)
+
+
+def rule_3() -> Rule:
+    """Rule 3: copy the global history into some node's local history."""
+    lhs = _state(
+        Var("Q"), Var("H"), Bag([_p(Var("y"), Wildcard())], rest=Var("P"))
+    )
+    rhs = _state(Var("Q"), Var("H"), Bag([_p(Var("y"), Var("H"))], rest=Var("P")))
+    return Rule("3", lhs, rhs)
+
+
+def make_rules(restricted: bool = False) -> RuleSet:
+    """The three rules of System S1."""
+    return RuleSet([rule_1(), rule_2(restricted), rule_3()])
+
+
+def make_system(n: int, restricted: bool = False, ctx: Optional[RuleContext] = None):
+    """Return ``(rewriter, initial_state)`` for an ``n``-node System S1."""
+    return Rewriter(make_rules(restricted), ctx), initial_state(n)

@@ -1,0 +1,298 @@
+"""System Search — nondeterministic token search (paper Figure 6).
+
+State: ``Srch(Q, P, T, I, O, W)``.  ``W`` is the bag of traps
+``trap(x, z)`` — node ``x`` remembers that ``z`` wants the token.
+
+Rules 1–4 are System Message-Passing's rules (3 = receive, 4 = send, in the
+paper's Figure 6 numbering).  The new rules:
+
+- **Rule 5** — a node generates interest: it sets a trap for itself and
+  sends a search message ``ask(x)`` to some other node.
+- **Rule 6** — a node receiving ``ask(z)`` sets a local trap for ``z`` and
+  forwards the search to some other node.
+- **Rule 7** — a holder with a trap removes the trap and sends the token to
+  the trapped requester.
+
+The Lemma 5 restriction (``restricted=True``) disables rule 4 (arbitrary
+pass), adds rule 4' (ring pass), and pins rules 5/6 to cyclic neighbours so
+requests traverse the ring — giving O(N) responsiveness.  To keep
+reductions finite the restricted rule 6 also lets a requester absorb its
+own returning search message instead of forwarding it forever; every
+restricted behaviour remains a behaviour of the unrestricted system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.specs.common import (
+    next_nonce,
+    BOT,
+    datum,
+    initial_p,
+    initial_q,
+    proc,
+    succ,
+    token_msg,
+)
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.terms import Bag, Seq, Struct, Term, Var, Wildcard
+
+__all__ = ["STATE", "initial_state", "make_rules", "make_system"]
+
+STATE = "Srch"
+
+
+def _q(x: Term, d: Term) -> Struct:
+    return Struct("q", (x, d))
+
+
+def _p(x: Term, h: Term) -> Struct:
+    return Struct("p", (x, h))
+
+
+def _out(x: Term, y: Term, m: Term) -> Struct:
+    return Struct("out", (x, y, m))
+
+
+def _in(x: Term, y: Term, m: Term) -> Struct:
+    return Struct("in", (x, y, m))
+
+
+def _token(h: Term) -> Struct:
+    return Struct("token", (h,))
+
+
+def _ask(z: Term) -> Struct:
+    return Struct("ask", (z,))
+
+
+def _trap(x: Term, z: Term) -> Struct:
+    return Struct("trap", (x, z))
+
+
+def _state(q, p, t, i, o, w) -> Struct:
+    return Struct(STATE, (q, p, t, i, o, w))
+
+
+def initial_state(n: int, holder: int = 0) -> Struct:
+    """All requests and histories empty; token at ``holder``; no traps."""
+    return _state(initial_q(n), initial_p(n), proc(holder), Bag(), Bag(), Bag())
+
+
+def rule_1() -> Rule:
+    """Rule 1: queue a fresh datum at some node."""
+    def where(binding, ctx: RuleContext):
+        x = binding["x"].value
+        return {"d2": binding["d"].append(datum(x, next_nonce(binding, x)))}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Var("P"), Var("T"), Var("I"), Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Var("d2"))], rest=Var("Q")),
+        Var("P"), Var("T"), Var("I"), Var("O"), Var("W"),
+    )
+    return Rule("1", lhs, rhs, where=where)
+
+
+def rule_2() -> Rule:
+    """Rule 2: transmit an in-flight message."""
+    lhs = _state(
+        Var("Q"), Var("P"), Var("T"), Var("I"),
+        Bag([_out(Var("x"), Var("y"), Var("m"))], rest=Var("O")), Var("W"),
+    )
+    rhs = _state(
+        Var("Q"), Var("P"), Var("T"),
+        Bag([_in(Var("y"), Var("x"), Var("m"))], rest=Var("I")),
+        Var("O"), Var("W"),
+    )
+    return Rule("2", lhs, rhs)
+
+
+def rule_3() -> Rule:
+    """Rule 3: receive the token and become the holder."""
+    lhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Wildcard())], rest=Var("P")),
+        BOT,
+        Bag([_in(Var("x"), Var("y"), _token(Var("H")))], rest=Var("I")),
+        Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("x"), Var("I"), Var("O"), Var("W"),
+    )
+    return Rule("3", lhs, rhs)
+
+
+def rule_4(n: int, ring: bool) -> Rule:
+    """Rule 4 (4' when ``ring``): the holder broadcasts and passes the token."""
+    def where(binding, ctx):
+        h2 = binding["H"].extend(binding["d"].items)
+        return {"H2": h2, "tok": token_msg(h2)}
+
+    def choices(binding, ctx):
+        x = binding["x"].value
+        if ring:
+            yield {"y": proc(succ(x, n))}
+        else:
+            for y in range(n):
+                yield {"y": proc(y)}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("x"), Var("I"), Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Seq())], rest=Var("Q")),
+        Bag([_p(Var("x"), Var("H2"))], rest=Var("P")),
+        BOT, Var("I"),
+        Bag([_out(Var("x"), Var("y"), Var("tok"))], rest=Var("O")),
+        Var("W"),
+    )
+    name = "4'" if ring else "4"
+    return Rule(name, lhs, rhs, where=where, choices=choices)
+
+
+def rule_5(n: int, restricted: bool) -> Rule:
+    """Rule 5: generate interest — set own trap, send ``ask`` onward.
+
+    Restricted: only when the node actually has pending data, no own trap
+    is already set (single outstanding request, Section 4.4), and the
+    message goes to the cyclic neighbour.
+    """
+    def choices(binding, ctx):
+        x = binding["x"].value
+        if restricted:
+            yield {"y": proc(succ(x, n))}
+        else:
+            for y in range(n):
+                if y != x:
+                    yield {"y": proc(y)}
+
+    guard = None
+    if restricted:
+        def guard(binding, ctx):
+            x = binding["x"]
+            if len(binding["d"]) == 0:
+                return False
+            own = _trap(x, x)
+            return own not in binding["W"]
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Var("P"), Var("T"), Var("I"), Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Var("P"), Var("T"), Var("I"),
+        Bag([_out(Var("x"), Var("y"), _ask(Var("x")))], rest=Var("O")),
+        Bag([_trap(Var("x"), Var("x"))], rest=Var("W")),
+    )
+    return Rule("5", lhs, rhs, guard=guard, choices=choices)
+
+
+def rule_6(n: int, restricted: bool) -> Rule:
+    """Rule 6: on receiving ``ask(z)``, set a local trap and forward.
+
+    Restricted: forward to the cyclic neighbour, and a requester absorbs
+    its own returning search (no forward, no duplicate trap) so each search
+    makes at most one circuit.
+    """
+    def choices(binding, ctx):
+        x = binding["x"].value
+        z = binding["z"].value
+        if restricted:
+            if x == z:
+                return
+            yield {"u": proc(succ(x, n))}
+        else:
+            for u in range(n):
+                if u != x:
+                    yield {"u": proc(u)}
+
+    lhs = _state(
+        Var("Q"), Var("P"), Var("T"),
+        Bag([_in(Var("x"), Var("y"), _ask(Var("z")))], rest=Var("I")),
+        Var("O"), Var("W"),
+    )
+    rhs = _state(
+        Var("Q"), Var("P"), Var("T"), Var("I"),
+        Bag([_out(Var("x"), Var("u"), _ask(Var("z")))], rest=Var("O")),
+        Bag([_trap(Var("x"), Var("z"))], rest=Var("W")),
+    )
+    rule = Rule("6", lhs, rhs, choices=choices)
+    if restricted:
+        absorb_rhs = _state(
+            Var("Q"), Var("P"), Var("T"), Var("I"), Var("O"), Var("W")
+        )
+
+        def absorb_guard(binding, ctx):
+            return binding["x"] == binding["z"]
+
+        return rule, Rule("6a", lhs, absorb_rhs, guard=absorb_guard)
+    return rule
+
+
+def rule_7() -> Rule:
+    """Rule 7: a holder with a trap sends the token to the trapped node."""
+    lhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        Var("x"), Var("I"), Var("O"),
+        Bag([_trap(Var("x"), Var("y"))], rest=Var("W")),
+    )
+    rhs = _state(
+        Var("Q"),
+        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+        BOT, Var("I"),
+        Bag([_out(Var("x"), Var("y"), _token(Var("H")))], rest=Var("O")),
+        Var("W"),
+    )
+    def guard(binding, ctx):
+        # A holder's own trap is satisfied locally: sending the token to
+        # oneself is pointless, so rule 7 targets other nodes; rule 7s
+        # clears the self-trap.
+        return binding["x"] != binding["y"]
+
+    return Rule("7", lhs, rhs, guard=guard)
+
+
+def rule_7s() -> Rule:
+    """Rule 7s: a holder clears its own trap (request satisfied locally)."""
+    lhs = _state(
+        Var("Q"), Var("P"), Var("x"), Var("I"), Var("O"),
+        Bag([_trap(Var("x"), Var("x"))], rest=Var("W")),
+    )
+    rhs = _state(Var("Q"), Var("P"), Var("x"), Var("I"), Var("O"), Var("W"))
+    return Rule("7s", lhs, rhs)
+
+
+def make_rules(n: int, restricted: bool = False) -> RuleSet:
+    """System Search's rules; ``restricted`` applies the Lemma 5 discipline
+    (no arbitrary pass, ring-ordered search, ring token rotation)."""
+    rules = [rule_1(), rule_2(), rule_3()]
+    if restricted:
+        rules.append(rule_4(n, ring=True))
+        rules.append(rule_5(n, restricted=True))
+        fwd, absorb = rule_6(n, restricted=True)
+        rules.extend([fwd, absorb])
+    else:
+        rules.append(rule_4(n, ring=False))
+        rules.append(rule_5(n, restricted=False))
+        rules.append(rule_6(n, restricted=False))
+    rules.append(rule_7())
+    rules.append(rule_7s())
+    return RuleSet(rules)
+
+
+def make_system(
+    n: int, restricted: bool = False, holder: int = 0, ctx: Optional[RuleContext] = None
+):
+    """Return ``(rewriter, initial_state)`` for System Search."""
+    return Rewriter(make_rules(n, restricted), ctx), initial_state(n, holder)

@@ -1,0 +1,103 @@
+"""System Token — token-restricted broadcasting (paper Figure 4).
+
+State: ``Tok(Q, H, P, T)``.  The fourth field ``T`` names the node holding
+the token; only the token holder may broadcast.  Rule 2 combines System
+S1's rules 2 and 3: the holder appends its data to the global history,
+updates its own local history, and passes the token to *some* node ``y``
+(a nondeterministic choice point — later refinements narrow it to the ring
+successor).
+
+Lemma 2: the transitions of System Token are a subset of System S1's, so
+the prefix property is inherited.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.specs.common import datum, initial_p, initial_q, next_nonce, proc, succ
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.terms import Bag, Seq, Struct, Term, Var, Wildcard
+
+__all__ = ["STATE", "initial_state", "make_rules", "make_system"]
+
+STATE = "Tok"
+
+
+def _q(x: Term, d: Term) -> Struct:
+    return Struct("q", (x, d))
+
+
+def _p(x: Term, h: Term) -> Struct:
+    return Struct("p", (x, h))
+
+
+def _state(q: Term, h: Term, p: Term, t: Term) -> Struct:
+    return Struct(STATE, (q, h, p, t))
+
+
+def initial_state(n: int, holder: int = 0) -> Struct:
+    """Initially the token sits at ``holder`` and all histories are empty."""
+    return _state(initial_q(n), Seq(), initial_p(n), proc(holder))
+
+
+def rule_1() -> Rule:
+    """Rule 1: queue a fresh datum at some node."""
+    def where(binding, ctx: RuleContext):
+        x = binding["x"].value
+        return {"d2": binding["d"].append(datum(x, next_nonce(binding, x)))}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")), Var("H"), Var("P"), Var("T")
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Var("d2"))], rest=Var("Q")), Var("H"), Var("P"), Var("T")
+    )
+    return Rule("1", lhs, rhs, where=where)
+
+
+def rule_2(n: int, ring: bool) -> Rule:
+    """Rule 2: the token holder broadcasts and passes the token to ``y``.
+
+    With ``ring=True`` the choice point is narrowed to the ring successor
+    (the System Message-Passing rule 3' discipline); otherwise ``y`` ranges
+    over every node, the paper's fully nondeterministic pass.
+    """
+    def where(binding, ctx):
+        h2 = binding["H"].extend(binding["d"].items)
+        return {"H2": h2}
+
+    def choices(binding, ctx):
+        x = binding["x"].value
+        if ring:
+            yield {"y": proc(succ(x, n))}
+        else:
+            for y in range(n):
+                yield {"y": proc(y)}
+
+    lhs = _state(
+        Bag([_q(Var("x"), Var("d"))], rest=Var("Q")),
+        Var("H"),
+        Bag([_p(Var("x"), Wildcard())], rest=Var("P")),
+        Var("x"),
+    )
+    rhs = _state(
+        Bag([_q(Var("x"), Seq())], rest=Var("Q")),
+        Var("H2"),
+        Bag([_p(Var("x"), Var("H2"))], rest=Var("P")),
+        Var("y"),
+    )
+    return Rule("2", lhs, rhs, where=where, choices=choices)
+
+
+def make_rules(n: int, ring: bool = False) -> RuleSet:
+    """The two rules of System Token for ``n`` nodes."""
+    return RuleSet([rule_1(), rule_2(n, ring)])
+
+
+def make_system(
+    n: int, ring: bool = False, holder: int = 0, ctx: Optional[RuleContext] = None
+):
+    """Return ``(rewriter, initial_state)`` for an ``n``-node System Token."""
+    return Rewriter(make_rules(n, ring), ctx), initial_state(n, holder)

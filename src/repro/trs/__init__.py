@@ -1,0 +1,71 @@
+"""Term Rewriting System (TRS) engine.
+
+The paper (Section 2) specifies every protocol as a TRS: terms model system
+states and guarded rewrite rules model transitions.  This package provides
+the term language, AC pattern matching, rules with guards and where-clauses,
+rewriting strategies, reduction traces, and the engine itself.
+"""
+
+from repro.trs.engine import Rewriter
+from repro.trs.matching import Binding, match, match_all, match_first, substitute
+from repro.trs.pretty import pretty, pretty_reduction
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.strategies import (
+    avoid_rules,
+    first_applicable,
+    prefer_rules,
+    random_strategy,
+    weighted_strategy,
+)
+from repro.trs.terms import (
+    Atom,
+    Bag,
+    Seq,
+    Struct,
+    Term,
+    Var,
+    Wildcard,
+    atom,
+    bag,
+    is_ground,
+    seq,
+    struct,
+    var,
+    variables_of,
+)
+from repro.trs.trace import Reduction, Step
+
+__all__ = [
+    "Atom",
+    "Bag",
+    "Binding",
+    "Reduction",
+    "Rewriter",
+    "Rule",
+    "RuleContext",
+    "RuleSet",
+    "Seq",
+    "Step",
+    "Struct",
+    "Term",
+    "Var",
+    "Wildcard",
+    "atom",
+    "avoid_rules",
+    "bag",
+    "first_applicable",
+    "is_ground",
+    "match",
+    "match_all",
+    "match_first",
+    "prefer_rules",
+    "pretty",
+    "pretty_reduction",
+    "random_strategy",
+    "seq",
+    "struct",
+    "substitute",
+    "var",
+    "variables_of",
+    "weighted_strategy",
+]

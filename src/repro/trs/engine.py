@@ -1,0 +1,168 @@
+"""The rewriting engine.
+
+:class:`Rewriter` enumerates enabled rule instantiations of a state,
+applies chosen ones, and drives whole reductions under a strategy.  It also
+provides bounded reachability search (used by the refinement checker to
+verify that a mapped fine-system step is simulated by the coarse system in
+a small number of steps).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import NoApplicableRuleError
+from repro.trs.matching import Binding
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.strategies import Strategy, first_applicable
+from repro.trs.terms import Term
+from repro.trs.trace import Reduction
+
+__all__ = ["Rewriter"]
+
+
+class Rewriter:
+    """Applies a :class:`RuleSet` to system-state terms."""
+
+    def __init__(self, ruleset: RuleSet, ctx: Optional[RuleContext] = None) -> None:
+        self.ruleset = ruleset
+        self.ctx = ctx if ctx is not None else RuleContext()
+
+    # -- enumeration --------------------------------------------------------
+
+    def instantiations(self, state: Term) -> List[Tuple[Rule, Binding]]:
+        """All enabled ``(rule, binding)`` pairs for ``state``, in rule order."""
+        out: List[Tuple[Rule, Binding]] = []
+        for rule in self.ruleset:
+            for binding in rule.instantiations(state, self.ctx):
+                out.append((rule, binding))
+        return out
+
+    def is_normal_form(self, state: Term) -> bool:
+        """True when no rule applies to ``state``."""
+        for rule in self.ruleset:
+            for _ in rule.instantiations(state, self.ctx):
+                return False
+        return True
+
+    # -- single steps --------------------------------------------------------
+
+    def apply(self, state: Term, rule: Rule, binding: Binding) -> Optional[Term]:
+        """Apply one instantiation; None when its where-clause vetoes."""
+        return rule.apply(state, binding, self.ctx)
+
+    def step(self, state: Term, strategy: Strategy = first_applicable) -> Optional[Tuple[str, Binding, Term]]:
+        """Perform one rewriting step chosen by ``strategy``.
+
+        Returns ``(rule_name, binding, new_state)``, or None when the
+        strategy declines every enabled instantiation (or none is enabled).
+        Instantiations vetoed by their where-clause are retried with the
+        remaining choices.
+        """
+        choices = self.instantiations(state)
+        while choices:
+            chosen = strategy(choices)
+            if chosen is None:
+                return None
+            rule, binding = chosen
+            result = self.apply(state, rule, binding)
+            if result is not None:
+                return rule.name, binding, result
+            choices.remove(chosen)
+        return None
+
+    def successors(self, state: Term) -> Iterator[Tuple[str, Term]]:
+        """Yield every one-step successor of ``state`` as ``(rule, state)``."""
+        for rule, binding in self.instantiations(state):
+            result = self.apply(state, rule, binding)
+            if result is not None:
+                yield rule.name, result
+
+    # -- reductions ----------------------------------------------------------
+
+    def reduce(
+        self,
+        initial: Term,
+        max_steps: int,
+        strategy: Strategy = first_applicable,
+        stop: Optional[Callable[[Term], bool]] = None,
+        require_progress: bool = False,
+    ) -> Reduction:
+        """Drive a reduction of up to ``max_steps`` steps.
+
+        Stops early when ``stop(state)`` becomes true or when no step is
+        possible.  With ``require_progress`` a dead end before ``max_steps``
+        raises :class:`NoApplicableRuleError` instead of returning.
+        """
+        reduction = Reduction(initial)
+        state = initial
+        for _ in range(max_steps):
+            if stop is not None and stop(state):
+                break
+            outcome = self.step(state, strategy)
+            if outcome is None:
+                if require_progress:
+                    raise NoApplicableRuleError(
+                        f"reduction stuck after {len(reduction)} steps"
+                    )
+                break
+            rule_name, binding, state = outcome
+            reduction.record(rule_name, binding, state)
+        return reduction
+
+    def random_reduction(
+        self, initial: Term, max_steps: int, seed: int, weights: Optional[dict] = None
+    ) -> Reduction:
+        """Convenience: a seeded uniformly (or weighted) random reduction."""
+        rng = random.Random(seed)
+        if weights is None:
+            from repro.trs.strategies import random_strategy
+
+            strategy = random_strategy(rng)
+        else:
+            from repro.trs.strategies import weighted_strategy
+
+            strategy = weighted_strategy(rng, weights)
+        return self.reduce(initial, max_steps, strategy)
+
+    # -- bounded search ------------------------------------------------------
+
+    def reachable(self, initial: Term, max_states: int) -> Set[Term]:
+        """Breadth-first set of states reachable from ``initial`` (bounded).
+
+        Intended for small instances; raises ``NoApplicableRuleError`` never —
+        exploration just stops at the bound.
+        """
+        seen: Set[Term] = {initial}
+        frontier = [initial]
+        while frontier and len(seen) < max_states:
+            state = frontier.pop(0)
+            for _, succ in self.successors(state):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+                    if len(seen) >= max_states:
+                        break
+        return seen
+
+    def can_reach(self, source: Term, target: Term, max_depth: int) -> bool:
+        """True when ``target`` is reachable from ``source`` within
+        ``max_depth`` steps (used by the refinement checker)."""
+        if source == target:
+            return True
+        frontier = {source}
+        seen = {source}
+        for _ in range(max_depth):
+            next_frontier: Set[Term] = set()
+            for state in frontier:
+                for _, succ in self.successors(state):
+                    if succ == target:
+                        return True
+                    if succ not in seen:
+                        seen.add(succ)
+                        next_frontier.add(succ)
+            if not next_frontier:
+                return False
+            frontier = next_frontier
+        return False

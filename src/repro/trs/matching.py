@@ -1,0 +1,180 @@
+"""Pattern matching for TRS terms, including AC (bag) matching.
+
+Matching a pattern against a ground term yields zero or more *bindings*
+(immutable dicts mapping variable names to ground terms).  Bag patterns are
+matched associatively/commutatively with backtracking: each element pattern
+is assigned to a distinct bag element, and the optional ``rest`` variable
+captures the remaining multiset, mirroring the paper's ``Q | (x, d_x)``
+notation.
+
+All matching functions are generators so callers can enumerate every match
+(needed when several rule instantiations apply to one state) or stop at the
+first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.errors import MatchError, TermError
+from repro.trs.terms import Atom, Bag, Seq, Struct, Term, Var, Wildcard
+
+__all__ = ["Binding", "match", "match_first", "match_all", "substitute"]
+
+Binding = Dict[str, Term]
+
+
+def _bind(binding: Binding, name: str, value: Term) -> Optional[Binding]:
+    """Extend ``binding`` with ``name -> value``; None on conflict."""
+    existing = binding.get(name)
+    if existing is None:
+        out = dict(binding)
+        out[name] = value
+        return out
+    if existing == value:
+        return binding
+    return None
+
+
+def match(pattern: Term, term: Term, binding: Optional[Binding] = None) -> Iterator[Binding]:
+    """Yield every binding under which ``pattern`` matches ``term``.
+
+    ``term`` must be ground.  The same variable occurring twice must match
+    equal subterms (non-linear patterns are supported).
+    """
+    if binding is None:
+        binding = {}
+
+    if isinstance(pattern, Wildcard):
+        yield binding
+        return
+
+    if isinstance(pattern, Var):
+        extended = _bind(binding, pattern.name, term)
+        if extended is not None:
+            yield extended
+        return
+
+    if isinstance(pattern, Atom):
+        if isinstance(term, Atom) and pattern.value == term.value:
+            yield binding
+        return
+
+    if isinstance(pattern, Struct):
+        if (
+            isinstance(term, Struct)
+            and pattern.functor == term.functor
+            and len(pattern.args) == len(term.args)
+        ):
+            yield from _match_fixed(pattern.args, term.args, binding)
+        return
+
+    if isinstance(pattern, Seq):
+        if isinstance(term, Seq) and len(pattern.items) == len(term.items):
+            yield from _match_fixed(pattern.items, term.items, binding)
+        return
+
+    if isinstance(pattern, Bag):
+        if isinstance(term, Bag):
+            if term.rest is not None:
+                raise MatchError("cannot match against a bag pattern (term has a rest var)")
+            yield from _match_bag(pattern, term, binding)
+        return
+
+    raise TermError(f"unknown pattern type: {pattern!r}")
+
+
+def _match_fixed(patterns, terms, binding: Binding) -> Iterator[Binding]:
+    """Match parallel tuples of patterns/terms, threading bindings."""
+    if not patterns:
+        yield binding
+        return
+    head_p, rest_p = patterns[0], patterns[1:]
+    head_t, rest_t = terms[0], terms[1:]
+    for b in match(head_p, head_t, binding):
+        yield from _match_fixed(rest_p, rest_t, b)
+
+
+def _match_bag(pattern: Bag, term: Bag, binding: Binding) -> Iterator[Binding]:
+    """AC-match a bag pattern against a ground bag.
+
+    Each pattern element is matched against a distinct term element, in every
+    possible way; the remainder binds to ``pattern.rest`` when present, and
+    must be empty otherwise.
+    """
+    if pattern.rest is None and len(pattern.items) != len(term.items):
+        return
+    if len(pattern.items) > len(term.items):
+        return
+
+    def assign(p_idx: int, available: list, b: Binding) -> Iterator[Binding]:
+        if p_idx == len(pattern.items):
+            if pattern.rest is None:
+                if not available:
+                    yield b
+            else:
+                remainder = Bag([term.items[i] for i in available])
+                extended = _bind(b, pattern.rest.name, remainder)
+                if extended is not None:
+                    yield extended
+            return
+        p = pattern.items[p_idx]
+        seen = []
+        for pos, t_idx in enumerate(available):
+            t = term.items[t_idx]
+            # Skip duplicate candidates at the same pattern position: matching
+            # an identical element again can only reproduce the same bindings.
+            if any(t == s for s in seen):
+                continue
+            seen.append(t)
+            rest_avail = available[:pos] + available[pos + 1 :]
+            for b2 in match(p, t, b):
+                yield from assign(p_idx + 1, rest_avail, b2)
+
+    yield from assign(0, list(range(len(term.items))), binding)
+
+
+def match_first(pattern: Term, term: Term) -> Optional[Binding]:
+    """Return the first binding matching ``pattern`` to ``term``, or None."""
+    for b in match(pattern, term):
+        return b
+    return None
+
+
+def match_all(pattern: Term, term: Term) -> list:
+    """Return all distinct bindings matching ``pattern`` to ``term``."""
+    out = []
+    for b in match(pattern, term):
+        if b not in out:
+            out.append(b)
+    return out
+
+
+def substitute(term: Term, binding: Binding) -> Term:
+    """Replace every variable in ``term`` with its image under ``binding``.
+
+    Unbound variables are left in place (the result is then still a
+    pattern).  A bag whose rest variable is bound to a bag is spliced flat;
+    a bound wildcard is impossible (wildcards never bind).
+    """
+    if isinstance(term, (Atom, Wildcard)):
+        return term
+    if isinstance(term, Var):
+        return binding.get(term.name, term)
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(substitute(a, binding) for a in term.args))
+    if isinstance(term, Seq):
+        return Seq(tuple(substitute(a, binding) for a in term.items))
+    if isinstance(term, Bag):
+        items = [substitute(a, binding) for a in term.items]
+        if term.rest is not None:
+            bound = binding.get(term.rest.name)
+            if bound is None:
+                return Bag(items, rest=term.rest)
+            if not isinstance(bound, Bag):
+                raise MatchError(
+                    f"bag rest variable {term.rest.name!r} bound to non-bag {bound!r}"
+                )
+            items.extend(bound.items)
+        return Bag(items)
+    raise TermError(f"unknown term type: {term!r}")

@@ -1,0 +1,88 @@
+"""Paper-notation pretty-printing for TRS terms and reductions.
+
+Renders states the way the paper writes them — ``(Q|(x,d_x), H, P, T)``
+style — so reduction traces read like Figures 2–7 instead of nested
+constructor dumps.  Conventions (matching :mod:`repro.specs.common`):
+
+- ``phi_x``/empty sequences print as ``∅``; data ``d(x,k)`` as ``d_x^k``;
+  ``visit(x)`` as ``v_x``; traps ``trap(x,z)`` as ``(x,τ_z)``;
+- ``out(x,y,m)`` / ``in(x,y,m)`` print as ``x→y:m`` / ``x←y:m``;
+- bags print with the ``|`` connective, sequences with ``⊕``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trs.terms import Atom, Bag, Seq, Struct, Term, Var, Wildcard
+from repro.trs.trace import Reduction
+
+__all__ = ["pretty", "pretty_reduction"]
+
+
+def _payload(term: Term) -> str:
+    if isinstance(term, Struct):
+        if term.functor == "token":
+            return f"token({pretty(term.args[0])})"
+        if term.functor == "loan":
+            return f"loan^({pretty(term.args[0])})"
+        if term.functor == "gimme":
+            n, history, z = term.args
+            return f"gimme(n={pretty(n)},{pretty(history)},τ_{pretty(z)})"
+        if term.functor == "ask":
+            return f"τ_{pretty(term.args[0])}"
+    return pretty(term)
+
+
+def pretty(term: Term) -> str:
+    """Render one term in paper-style notation."""
+    if isinstance(term, Atom):
+        return "⊥" if term.value == "bot" else str(term.value)
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Wildcard):
+        return "-"
+    if isinstance(term, Seq):
+        if not term.items:
+            return "∅"
+        return "⊕".join(pretty(i) for i in term.items)
+    if isinstance(term, Bag):
+        parts: List[str] = [pretty(i) for i in term.items]
+        if term.rest is not None:
+            parts.insert(0, term.rest.name)
+        return "{" + " | ".join(parts) + "}" if parts else "∅"
+    if isinstance(term, Struct):
+        f = term.functor
+        if f == "q":
+            return f"({pretty(term.args[0])},{pretty(term.args[1])})"
+        if f == "p":
+            return f"({pretty(term.args[0])},{pretty(term.args[1])})"
+        if f == "d":
+            return f"d_{pretty(term.args[0])}^{pretty(term.args[1])}"
+        if f == "visit":
+            return f"v_{pretty(term.args[0])}"
+        if f == "trap":
+            return f"({pretty(term.args[0])},τ_{pretty(term.args[1])})"
+        if f == "out":
+            x, y, m = term.args
+            return f"{pretty(x)}→{pretty(y)}:{_payload(m)}"
+        if f == "in":
+            x, y, m = term.args
+            return f"{pretty(x)}←{pretty(y)}:{_payload(m)}"
+        if f in ("S", "S1", "Tok", "MP", "Srch", "BS"):
+            inner = ", ".join(pretty(a) for a in term.args)
+            return f"{f}({inner})"
+        inner = ", ".join(pretty(a) for a in term.args)
+        return f"{f}({inner})"
+    return repr(term)
+
+
+def pretty_reduction(reduction: Reduction, limit: int = 20) -> str:
+    """Render a reduction as numbered rewrite steps (first ``limit``)."""
+    lines = [f"    {pretty(reduction.initial)}"]
+    for idx, step in enumerate(reduction.steps[:limit]):
+        lines.append(f"--{step.rule_name}-->")
+        lines.append(f"    {pretty(step.state)}")
+    if len(reduction.steps) > limit:
+        lines.append(f"... ({len(reduction.steps) - limit} more steps)")
+    return "\n".join(lines)

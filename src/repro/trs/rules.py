@@ -1,0 +1,226 @@
+"""Rewrite rules and rule sets.
+
+A rule follows the paper's general structure (Section 2)::
+
+    s1 -> s2   (if p(s1))
+
+with two executable extensions that the paper writes informally:
+
+- a **guard** — the optional predicate ``p``; a callable over the binding
+  (and an optional mutable context), e.g. the ``where y = x^{+1}`` side
+  conditions of rule 3';
+- a **where-clause** — computes additional bindings from the matched ones,
+  e.g. rule 6's ``u = x^{-n/2}`` direction computation, or rule 1's fresh
+  datum ``new_x``.  A where-clause may return ``None`` to veto the match
+  (useful when the computation itself decides applicability).
+
+Rules are matched at the root of the state term; the paper's systems are
+written so that the whole system state is the redex (set components are
+opened up with bag-rest variables).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import RuleError
+from repro.trs.matching import Binding, match, substitute
+from repro.trs.terms import Term, is_ground, variables_of
+
+__all__ = ["Rule", "RuleSet", "RuleContext"]
+
+
+class RuleContext:
+    """Mutable context threaded through a reduction.
+
+    The paper's rule 1 introduces fresh data ``new_x``; to keep state terms
+    faithful to the paper (no extra counter component) the freshness source
+    lives here.  ``fresh()`` returns consecutive integers, deterministic per
+    reduction.
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def fresh(self) -> int:
+        """Return the next fresh integer nonce."""
+        value = self._counter
+        self._counter += 1
+        return value
+
+
+GuardFn = Callable[[Binding, RuleContext], bool]
+WhereFn = Callable[[Binding, RuleContext], Optional[Binding]]
+ChoicesFn = Callable[[Binding, RuleContext], Iterator[Binding]]
+
+
+class Rule:
+    """A guarded rewrite rule with optional where-clause and choice points.
+
+    ``choices`` models rules whose right-hand side has a genuinely
+    *nondeterministic* free variable (e.g. System Token's rule 2 passes the
+    token to *some* node ``y``): it maps a match binding to an iterable of
+    extra bindings, one per allowed choice, and each extension counts as a
+    separate instantiation.  Restricting a system (e.g. rule 3' fixing
+    ``y = x⁺¹``) then amounts to narrowing ``choices`` to a single option.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lhs: Term,
+        rhs: Term,
+        guard: Optional[GuardFn] = None,
+        where: Optional[WhereFn] = None,
+        choices: Optional[ChoicesFn] = None,
+    ) -> None:
+        if not name:
+            raise RuleError("rule name must be non-empty")
+        self.name = name
+        self.lhs = lhs
+        self.rhs = rhs
+        self.guard = guard
+        self.where = where
+        self.choices = choices
+        # RHS variables not bound by the LHS must be produced by the
+        # where-clause or a choice point; record them so application can
+        # verify.
+        self._rhs_free = variables_of(rhs) - variables_of(lhs)
+        if self._rhs_free and where is None and choices is None:
+            raise RuleError(
+                f"rule {name!r} has free RHS variables {sorted(self._rhs_free)} "
+                "but no where-clause or choices to bind them"
+            )
+
+    def instantiations(self, state: Term, ctx: RuleContext) -> Iterator[Binding]:
+        """Yield every binding under which this rule applies to ``state``.
+
+        Choice points are expanded here (each choice is an instantiation);
+        guards are evaluated on the expanded binding.  Where-clauses are
+        *not* run here (they may be effectful via the context) — they run at
+        application time in :meth:`apply`.
+        """
+        for binding in match(self.lhs, state):
+            if self.choices is None:
+                expansions = [binding]
+            else:
+                expansions = []
+                for extra in self.choices(dict(binding), ctx):
+                    merged = dict(binding)
+                    merged.update(extra)
+                    expansions.append(merged)
+            for expanded in expansions:
+                if self.guard is not None and not self.guard(expanded, ctx):
+                    continue
+                yield expanded
+
+    def apply(self, state: Term, binding: Binding, ctx: RuleContext) -> Optional[Term]:
+        """Apply the rule under ``binding``; None when the where-clause vetoes.
+
+        Raises :class:`RuleError` when the result is not ground (which
+        indicates an ill-formed rule, not a failed match).
+        """
+        full = binding
+        if self.where is not None:
+            extra = self.where(dict(binding), ctx)
+            if extra is None:
+                return None
+            full = dict(binding)
+            full.update(extra)
+        missing = self._rhs_free - set(full)
+        if missing:
+            raise RuleError(
+                f"rule {self.name!r}: where-clause left RHS variables unbound: "
+                f"{sorted(missing)}"
+            )
+        result = substitute(self.rhs, full)
+        if not is_ground(result):
+            raise RuleError(
+                f"rule {self.name!r} produced a non-ground state: {result!r}"
+            )
+        return result
+
+    def restricted(
+        self,
+        name: Optional[str] = None,
+        guard: Optional[GuardFn] = None,
+        choices: Optional[ChoicesFn] = None,
+    ) -> "Rule":
+        """Return a restricted copy of this rule.
+
+        The paper refines systems by *constraining* when rules apply
+        (Section 4): "these conditions always involve only the local state".
+        A restricted rule keeps the LHS/RHS but narrows the guard (both
+        must hold) and/or replaces the choice point, so every behaviour of
+        the restricted rule is a behaviour of the original.
+        """
+        base_guard = self.guard
+
+        if guard is None:
+            merged_guard = base_guard
+        elif base_guard is None:
+            merged_guard = guard
+        else:
+            def merged_guard(binding, ctx, _a=base_guard, _b=guard):
+                return _a(binding, ctx) and _b(binding, ctx)
+
+        return Rule(
+            name or self.name,
+            self.lhs,
+            self.rhs,
+            guard=merged_guard,
+            where=self.where,
+            choices=choices if choices is not None else self.choices,
+        )
+
+    def __repr__(self) -> str:
+        return f"Rule({self.name!r})"
+
+
+class RuleSet:
+    """An ordered collection of uniquely named rules."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        names = [r.name for r in rules]
+        if len(names) != len(set(names)):
+            raise RuleError(f"duplicate rule names in rule set: {names}")
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self._by_name: Dict[str, Rule] = {r.name: r for r in rules}
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __getitem__(self, name: str) -> Rule:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RuleError(f"no rule named {name!r} in rule set") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> List[str]:
+        """Return rule names in declaration order."""
+        return [r.name for r in self.rules]
+
+    def without(self, *names: str) -> "RuleSet":
+        """Return a copy with the named rules removed (disabling rules,
+        as in the Lemma 5 restriction that disables rule 4)."""
+        for n in names:
+            if n not in self._by_name:
+                raise RuleError(f"cannot remove unknown rule {n!r}")
+        return RuleSet([r for r in self.rules if r.name not in names])
+
+    def replaced(self, rule: Rule) -> "RuleSet":
+        """Return a copy with the same-named rule replaced (e.g. swapping
+        rule 3 for rule 3' in System Message-Passing)."""
+        if rule.name not in self._by_name:
+            raise RuleError(f"cannot replace unknown rule {rule.name!r}")
+        return RuleSet([rule if r.name == rule.name else r for r in self.rules])
+
+    def extended(self, rule: Rule) -> "RuleSet":
+        """Return a copy with ``rule`` appended."""
+        return RuleSet(list(self.rules) + [rule])

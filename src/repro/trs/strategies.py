@@ -1,0 +1,92 @@
+"""Rewriting strategies.
+
+The paper notes that "a rewriting strategy can be used to specify which rule
+among the applicable rules should be applied at each rewriting step"
+(Section 2).  A strategy here is a callable receiving the list of enabled
+``(rule, binding)`` instantiations and returning the chosen one, or ``None``
+to stop the reduction.
+
+All randomized strategies take an explicit :class:`random.Random` so that
+reductions are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.trs.matching import Binding
+from repro.trs.rules import Rule
+
+__all__ = [
+    "Strategy",
+    "first_applicable",
+    "random_strategy",
+    "weighted_strategy",
+    "prefer_rules",
+    "avoid_rules",
+]
+
+Choice = Tuple[Rule, Binding]
+Strategy = Callable[[List[Choice]], Optional[Choice]]
+
+
+def first_applicable(choices: List[Choice]) -> Optional[Choice]:
+    """Pick the first enabled instantiation in rule-declaration order."""
+    return choices[0] if choices else None
+
+
+def random_strategy(rng: random.Random) -> Strategy:
+    """Pick uniformly at random among enabled instantiations."""
+
+    def choose(choices: List[Choice]) -> Optional[Choice]:
+        if not choices:
+            return None
+        return rng.choice(choices)
+
+    return choose
+
+
+def weighted_strategy(rng: random.Random, weights: dict, default: float = 1.0) -> Strategy:
+    """Pick with per-rule-name weights (useful to bias reductions toward
+    progress rules when random walks would otherwise dawdle)."""
+
+    def choose(choices: List[Choice]) -> Optional[Choice]:
+        if not choices:
+            return None
+        ws = [max(0.0, weights.get(rule.name, default)) for rule, _ in choices]
+        total = sum(ws)
+        if total <= 0.0:
+            return None
+        pick = rng.uniform(0.0, total)
+        acc = 0.0
+        for choice, w in zip(choices, ws):
+            acc += w
+            if pick <= acc:
+                return choice
+        return choices[-1]
+
+    return choose
+
+
+def prefer_rules(names: Sequence[str], fallback: Strategy) -> Strategy:
+    """Choose among instantiations of the named rules when any are enabled;
+    otherwise defer to ``fallback``."""
+    wanted = set(names)
+
+    def choose(choices: List[Choice]) -> Optional[Choice]:
+        preferred = [c for c in choices if c[0].name in wanted]
+        return fallback(preferred) if preferred else fallback(choices)
+
+    return choose
+
+
+def avoid_rules(names: Sequence[str], fallback: Strategy) -> Strategy:
+    """Never choose the named rules unless nothing else is enabled."""
+    unwanted = set(names)
+
+    def choose(choices: List[Choice]) -> Optional[Choice]:
+        others = [c for c in choices if c[0].name not in unwanted]
+        return fallback(others) if others else fallback(choices)
+
+    return choose

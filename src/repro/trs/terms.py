@@ -1,0 +1,358 @@
+"""Term language for the Term Rewriting System (TRS) layer.
+
+The paper specifies its protocols as TRSs (Section 2).  This module provides
+the term constructors used to encode system states:
+
+- :class:`Atom` — a constant; matches only itself (the paper's Greek-letter
+  identifiers such as ``phi_x`` and ``tau_x`` are atoms or structs of atoms).
+- :class:`Var` — a variable; matches any term and binds (the paper's
+  English-letter identifiers).
+- :class:`Wildcard` — the paper's ``-`` placeholder; matches anything
+  without binding.
+- :class:`Struct` — a named, fixed-arity constructor, e.g. ``(x, d_x)``
+  pairs or whole system states.
+- :class:`Seq` — an ordered sequence; models histories built with the
+  append operator ``⊕``.
+- :class:`Bag` — an unordered multiset; models the associative/commutative
+  catenation connective ``|``.  A bag *pattern* may carry a ``rest``
+  variable capturing the unmatched remainder, which is how the paper writes
+  ``Q | (x, d_x)`` with the set variable ``Q``.
+
+Terms are immutable and hashable (bags hash via a sorted multiset key), so
+they can be stored in sets and used as dictionary keys when exploring
+reachable state spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.errors import TermError
+
+__all__ = [
+    "Term",
+    "Atom",
+    "Var",
+    "Wildcard",
+    "Struct",
+    "Seq",
+    "Bag",
+    "atom",
+    "var",
+    "struct",
+    "seq",
+    "bag",
+    "is_ground",
+    "variables_of",
+]
+
+
+class Term:
+    """Abstract base class for all terms."""
+
+    __slots__ = ()
+
+    def is_pattern(self) -> bool:
+        """Return True when the term contains variables or wildcards."""
+        return not is_ground(self)
+
+
+class Atom(Term):
+    """A constant term wrapping a hashable Python value.
+
+    Two atoms are equal exactly when their values are equal; an atom matches
+    only an equal atom.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        try:
+            hash(value)
+        except TypeError:
+            raise TermError(f"Atom value must be hashable, got {value!r}")
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Atom) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Atom", self.value))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.value!r})"
+
+
+class Var(Term):
+    """A named variable.  Matches any term and binds it under the name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise TermError(f"Var name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+class Wildcard(Term):
+    """The paper's ``-`` placeholder: matches any term, binds nothing."""
+
+    __slots__ = ()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Wildcard)
+
+    def __hash__(self) -> int:
+        return hash("Wildcard")
+
+    def __repr__(self) -> str:
+        return "_"
+
+
+class Struct(Term):
+    """A named constructor with a fixed tuple of argument terms."""
+
+    __slots__ = ("functor", "args")
+
+    def __init__(self, functor: str, args: Iterable[Term] = ()) -> None:
+        if not isinstance(functor, str) or not functor:
+            raise TermError(f"Struct functor must be a non-empty string, got {functor!r}")
+        args = tuple(args)
+        for a in args:
+            if not isinstance(a, Term):
+                raise TermError(f"Struct argument must be a Term, got {a!r}")
+        self.functor = functor
+        self.args = args
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Struct)
+            and self.functor == other.functor
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Struct", self.functor, self.args))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.functor}({inner})"
+
+
+class Seq(Term):
+    """An ordered sequence of terms (history logs, ``⊕`` append)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[Term] = ()) -> None:
+        items = tuple(items)
+        for a in items:
+            if not isinstance(a, Term):
+                raise TermError(f"Seq item must be a Term, got {a!r}")
+        self.items = items
+
+    def append(self, item: Term) -> "Seq":
+        """Return a new sequence with ``item`` appended (the ``⊕`` operator)."""
+        if not isinstance(item, Term):
+            raise TermError(f"Seq item must be a Term, got {item!r}")
+        return Seq(self.items + (item,))
+
+    def extend(self, items: Iterable[Term]) -> "Seq":
+        """Return a new sequence with all of ``items`` appended."""
+        out = self
+        for item in items:
+            out = out.append(item)
+        return out
+
+    def is_prefix_of(self, other: "Seq") -> bool:
+        """Return True when this sequence is a prefix of ``other``."""
+        if not isinstance(other, Seq):
+            raise TermError(f"is_prefix_of expects a Seq, got {other!r}")
+        if len(self.items) > len(other.items):
+            return False
+        return self.items == other.items[: len(self.items)]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.items)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Seq) and self.items == other.items
+
+    def __hash__(self) -> int:
+        return hash(("Seq", self.items))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.items)
+        return f"Seq[{inner}]"
+
+
+def _multiset_key(items: Tuple[Term, ...]) -> Tuple:
+    """A canonical, order-independent key for a collection of terms."""
+    return tuple(sorted((repr(i) for i in items)))
+
+
+class Bag(Term):
+    """An unordered multiset of terms — the AC catenation connective ``|``.
+
+    When used as a *pattern*, a bag may carry a ``rest`` variable: the
+    pattern ``Bag([(x, d_x)], rest=Var("Q"))`` encodes the paper's
+    ``Q | (x, d_x)`` and binds ``Q`` to the remainder multiset (as a Bag).
+    Ground bags (states) must not have a rest variable.
+    """
+
+    __slots__ = ("items", "rest")
+
+    def __init__(self, items: Iterable[Term] = (), rest: Optional[Var] = None) -> None:
+        flat = []
+        for a in items:
+            if not isinstance(a, Term):
+                raise TermError(f"Bag item must be a Term, got {a!r}")
+            if isinstance(a, Bag) and a.rest is None:
+                flat.extend(a.items)
+            else:
+                flat.append(a)
+        if rest is not None and not isinstance(rest, Var):
+            raise TermError(f"Bag rest must be a Var or None, got {rest!r}")
+        self.items = tuple(flat)
+        self.rest = rest
+
+    def add(self, item: Term) -> "Bag":
+        """Return a new bag with ``item`` added."""
+        if self.rest is not None:
+            raise TermError("cannot add to a bag pattern with a rest variable")
+        return Bag(self.items + (item,))
+
+    def remove_one(self, item: Term) -> "Bag":
+        """Return a new bag with one occurrence of ``item`` removed."""
+        if self.rest is not None:
+            raise TermError("cannot remove from a bag pattern with a rest variable")
+        items = list(self.items)
+        try:
+            items.remove(item)
+        except ValueError:
+            raise TermError(f"bag does not contain {item!r}")
+        return Bag(items)
+
+    def union(self, other: "Bag") -> "Bag":
+        """Return the multiset union of two ground bags."""
+        if self.rest is not None or other.rest is not None:
+            raise TermError("cannot union bag patterns with rest variables")
+        return Bag(self.items + other.items)
+
+    def count(self, item: Term) -> int:
+        """Return the multiplicity of ``item`` in the bag."""
+        return sum(1 for i in self.items if i == item)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.items)
+
+    def __contains__(self, item) -> bool:
+        return any(i == item for i in self.items)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Bag):
+            return False
+        if self.rest != other.rest:
+            return False
+        if len(self.items) != len(other.items):
+            return False
+        remaining = list(other.items)
+        for i in self.items:
+            try:
+                remaining.remove(i)
+            except ValueError:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash(("Bag", _multiset_key(self.items), self.rest))
+
+    def __repr__(self) -> str:
+        inner = " | ".join(repr(a) for a in self.items)
+        if self.rest is not None:
+            inner = f"{self.rest!r} | {inner}" if inner else repr(self.rest)
+        return f"Bag{{{inner}}}"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def atom(value) -> Atom:
+    """Shorthand for :class:`Atom`."""
+    return Atom(value)
+
+
+def var(name: str) -> Var:
+    """Shorthand for :class:`Var`."""
+    return Var(name)
+
+
+def struct(functor: str, *args: Term) -> Struct:
+    """Shorthand for :class:`Struct` with varargs."""
+    return Struct(functor, args)
+
+
+def seq(*items: Term) -> Seq:
+    """Shorthand for :class:`Seq` with varargs."""
+    return Seq(items)
+
+
+def bag(*items: Term, rest: Optional[Var] = None) -> Bag:
+    """Shorthand for :class:`Bag` with varargs and an optional rest var."""
+    return Bag(items, rest=rest)
+
+
+def is_ground(term: Term) -> bool:
+    """Return True when ``term`` contains no variables or wildcards."""
+    if isinstance(term, (Var, Wildcard)):
+        return False
+    if isinstance(term, Atom):
+        return True
+    if isinstance(term, Struct):
+        return all(is_ground(a) for a in term.args)
+    if isinstance(term, Seq):
+        return all(is_ground(a) for a in term.items)
+    if isinstance(term, Bag):
+        if term.rest is not None:
+            return False
+        return all(is_ground(a) for a in term.items)
+    raise TermError(f"unknown term type: {term!r}")
+
+
+def variables_of(term: Term) -> frozenset:
+    """Return the set of variable names occurring in ``term``."""
+    names = set()
+
+    def walk(t: Term) -> None:
+        if isinstance(t, Var):
+            names.add(t.name)
+        elif isinstance(t, Struct):
+            for a in t.args:
+                walk(a)
+        elif isinstance(t, Seq):
+            for a in t.items:
+                walk(a)
+        elif isinstance(t, Bag):
+            for a in t.items:
+                walk(a)
+            if t.rest is not None:
+                names.add(t.rest.name)
+
+    walk(term)
+    return frozenset(names)

@@ -1,0 +1,89 @@
+"""Reduction traces.
+
+A *reduction* (paper, Section 2) is a sequence of terms starting from an
+initial term and obtained by successive rule application.  The trace records
+which rule and binding produced each state so that safety properties can be
+checked along the whole path and failures can be reported with the exact
+step that broke them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import SpecError
+from repro.trs.matching import Binding
+from repro.trs.terms import Term
+
+__all__ = ["Step", "Reduction"]
+
+
+class Step:
+    """One rewriting step: rule name, binding used, and resulting state."""
+
+    __slots__ = ("rule_name", "binding", "state")
+
+    def __init__(self, rule_name: str, binding: Binding, state: Term) -> None:
+        self.rule_name = rule_name
+        self.binding = binding
+        self.state = state
+
+    def __repr__(self) -> str:
+        return f"Step({self.rule_name!r})"
+
+
+class Reduction:
+    """A recorded reduction: initial state plus the steps taken."""
+
+    def __init__(self, initial: Term) -> None:
+        self.initial = initial
+        self.steps: List[Step] = []
+
+    def record(self, rule_name: str, binding: Binding, state: Term) -> None:
+        """Append a step to the trace."""
+        self.steps.append(Step(rule_name, binding, state))
+
+    @property
+    def final(self) -> Term:
+        """The last state of the reduction (the initial state if empty)."""
+        return self.steps[-1].state if self.steps else self.initial
+
+    def states(self) -> Iterator[Term]:
+        """Yield every state along the reduction, initial state first."""
+        yield self.initial
+        for step in self.steps:
+            yield step.state
+
+    def transitions(self) -> Iterator[Tuple[Term, Step]]:
+        """Yield ``(pre_state, step)`` pairs along the reduction."""
+        prev = self.initial
+        for step in self.steps:
+            yield prev, step
+            prev = step.state
+
+    def rule_counts(self) -> dict:
+        """Return how many times each rule fired."""
+        counts: dict = {}
+        for step in self.steps:
+            counts[step.rule_name] = counts.get(step.rule_name, 0) + 1
+        return counts
+
+    def check_invariant(
+        self, invariant: Callable[[Term], bool], name: Optional[str] = None
+    ) -> None:
+        """Assert ``invariant`` on every state; raise SpecError at the first
+        violating step with its index and producing rule."""
+        label = name or getattr(invariant, "__name__", "invariant")
+        if not invariant(self.initial):
+            raise SpecError(f"{label} violated by the initial state")
+        for idx, step in enumerate(self.steps):
+            if not invariant(step.state):
+                raise SpecError(
+                    f"{label} violated at step {idx} (rule {step.rule_name!r})"
+                )
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        return f"Reduction(steps={len(self.steps)})"

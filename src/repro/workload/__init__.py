@@ -1,0 +1,21 @@
+"""Workload generators for the simulation experiments."""
+
+from repro.workload.generators import (
+    BurstyWorkload,
+    FixedRateWorkload,
+    HotspotWorkload,
+    SaturatedWorkload,
+    SingleShotWorkload,
+    UniformIntervalWorkload,
+    Workload,
+)
+
+__all__ = [
+    "BurstyWorkload",
+    "FixedRateWorkload",
+    "HotspotWorkload",
+    "SaturatedWorkload",
+    "SingleShotWorkload",
+    "UniformIntervalWorkload",
+    "Workload",
+]

@@ -1,0 +1,203 @@
+"""Workload generators.
+
+A workload decides *when* nodes become ready.  Generators are bound to a
+cluster and schedule request events on its simulator; all randomness flows
+from the cluster's seeded RNG, so runs are reproducible.
+
+The paper's Section 4.3 workloads:
+
+- Figure 9 — :class:`FixedRateWorkload` with ``mean_interval=10``: "on
+  average, every 10 time units, one of the nodes in the system makes a
+  request";
+- Figure 10 — the same generator with the interval swept upwards
+  ("we decrease the load").
+
+Additional generators exercise the regimes the introduction motivates:
+bursty-but-infrequent use (tree protocols' home turf), hotspot skew,
+saturation (ring protocols' home turf), and single-shot probes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Workload",
+    "FixedRateWorkload",
+    "UniformIntervalWorkload",
+    "BurstyWorkload",
+    "HotspotWorkload",
+    "SaturatedWorkload",
+    "SingleShotWorkload",
+]
+
+
+class Workload:
+    """Base class.  ``bind`` wires the workload to a cluster; generators
+    then keep themselves scheduled on the cluster's simulator."""
+
+    def bind(self, cluster) -> None:
+        raise NotImplementedError
+
+    # Subclasses needing grant feedback override this (cluster calls it).
+    def on_grant(self, node: int, req_seq: int, now: float) -> None:
+        pass
+
+
+class FixedRateWorkload(Workload):
+    """Global Poisson arrivals: exponential inter-request times with the
+    given mean; each request lands on a uniformly random node.
+
+    A node that is already waiting is skipped (its pending request stands),
+    matching the single-outstanding discipline.
+    """
+
+    def __init__(self, mean_interval: float) -> None:
+        if mean_interval <= 0:
+            raise ConfigError(f"mean_interval must be positive, got {mean_interval}")
+        self.mean_interval = mean_interval
+        self._cluster = None
+
+    def bind(self, cluster) -> None:
+        self._cluster = cluster
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self._cluster.rng.expovariate(1.0 / self.mean_interval)
+        self._cluster.sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        node = self._cluster.rng.randrange(self._cluster.n)
+        self._cluster.request(node)
+        self._schedule_next()
+
+
+class UniformIntervalWorkload(Workload):
+    """Deterministic arrivals every ``interval`` units on a random node."""
+
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self._cluster = None
+
+    def bind(self, cluster) -> None:
+        self._cluster = cluster
+        cluster.sim.schedule(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        node = self._cluster.rng.randrange(self._cluster.n)
+        self._cluster.request(node)
+        self._cluster.sim.schedule(self.interval, self._fire)
+
+
+class BurstyWorkload(Workload):
+    """Quiet gaps punctuated by bursts: every ``burst_gap`` (exponential
+    mean), ``burst_size`` distinct random nodes become ready at once —
+    the "bursty but infrequent" regime where tree/search protocols shine."""
+
+    def __init__(self, burst_gap: float, burst_size: int) -> None:
+        if burst_gap <= 0:
+            raise ConfigError(f"burst_gap must be positive, got {burst_gap}")
+        if burst_size < 1:
+            raise ConfigError(f"burst_size must be >= 1, got {burst_size}")
+        self.burst_gap = burst_gap
+        self.burst_size = burst_size
+        self._cluster = None
+
+    def bind(self, cluster) -> None:
+        self._cluster = cluster
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self._cluster.rng.expovariate(1.0 / self.burst_gap)
+        self._cluster.sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        size = min(self.burst_size, self._cluster.n)
+        nodes = self._cluster.rng.sample(range(self._cluster.n), size)
+        for node in nodes:
+            self._cluster.request(node)
+        self._schedule_next()
+
+
+class HotspotWorkload(Workload):
+    """Poisson arrivals skewed toward a hot subset: with probability
+    ``hot_fraction`` the request lands (uniformly) on the first
+    ``hot_nodes`` nodes, otherwise anywhere."""
+
+    def __init__(self, mean_interval: float, hot_nodes: int,
+                 hot_fraction: float = 0.9) -> None:
+        if mean_interval <= 0:
+            raise ConfigError(f"mean_interval must be positive, got {mean_interval}")
+        if hot_nodes < 1:
+            raise ConfigError(f"hot_nodes must be >= 1, got {hot_nodes}")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ConfigError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        self.mean_interval = mean_interval
+        self.hot_nodes = hot_nodes
+        self.hot_fraction = hot_fraction
+        self._cluster = None
+
+    def bind(self, cluster) -> None:
+        self._cluster = cluster
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self._cluster.rng.expovariate(1.0 / self.mean_interval)
+        self._cluster.sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        rng = self._cluster.rng
+        hot = min(self.hot_nodes, self._cluster.n)
+        if rng.random() < self.hot_fraction:
+            node = rng.randrange(hot)
+        else:
+            node = rng.randrange(self._cluster.n)
+        self._cluster.request(node)
+        self._schedule_next()
+
+
+class SaturatedWorkload(Workload):
+    """Closed-loop saturation: ``clients`` nodes request immediately, and
+    each re-requests ``think_time`` after being granted — every node always
+    (eventually) wants the token, the busy regime where the ring's
+    throughput dominates."""
+
+    def __init__(self, clients: Optional[int] = None, think_time: float = 0.0) -> None:
+        if think_time < 0:
+            raise ConfigError(f"think_time must be >= 0, got {think_time}")
+        self.clients = clients
+        self.think_time = think_time
+        self._cluster = None
+        self._members: List[int] = []
+
+    def bind(self, cluster) -> None:
+        self._cluster = cluster
+        count = cluster.n if self.clients is None else min(self.clients, cluster.n)
+        self._members = list(range(count))
+        for node in self._members:
+            cluster.sim.schedule(0.0, cluster.request, node)
+
+    def on_grant(self, node: int, req_seq: int, now: float) -> None:
+        if node not in self._members:
+            return
+        if self.think_time > 0:
+            self._cluster.sim.schedule(self.think_time, self._cluster.request, node)
+        else:
+            # Re-request strictly after the grant completes, one delay later,
+            # so the token is not captured forever by one node.
+            self._cluster.sim.schedule(1.0, self._cluster.request, node)
+
+
+class SingleShotWorkload(Workload):
+    """Explicit one-off requests: ``[(time, node), ...]``."""
+
+    def __init__(self, events: Sequence) -> None:
+        self.events = sorted(events)
+
+    def bind(self, cluster) -> None:
+        for time, node in self.events:
+            cluster.sim.schedule_at(time, cluster.request, node)

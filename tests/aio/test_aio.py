@@ -1,0 +1,227 @@
+"""Asyncio runtime tests: transport, driver, cluster, locks, membership."""
+
+import asyncio
+
+import pytest
+
+from repro.aio.cluster import AioCluster
+from repro.aio.transport import AioTransport
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError, MembershipError, NetworkError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+DELAY = 0.002
+
+
+class TestTransport:
+    def test_attach_and_deliver(self):
+        async def main():
+            t = AioTransport(delay=0.001)
+            inbox = t.attach(1)
+            t.attach(0)
+            t.send(0, 1, "hello")
+            src, msg = await asyncio.wait_for(inbox.get(), 1.0)
+            assert (src, msg) == (0, "hello")
+
+        run(main())
+
+    def test_double_attach_rejected(self):
+        async def main():
+            t = AioTransport()
+            t.attach(1)
+            with pytest.raises(NetworkError):
+                t.attach(1)
+
+        run(main())
+
+    def test_detached_inbox_drops(self):
+        async def main():
+            t = AioTransport(delay=0.001)
+            t.attach(0)
+            t.attach(1)
+            t.detach(1)
+            t.send(0, 1, "x")
+            await asyncio.sleep(0.01)
+            assert t.dropped_count == 1
+
+        run(main())
+
+    def test_cheap_loss_injection(self):
+        class Cheap:
+            reliable = False
+
+        async def main():
+            t = AioTransport(delay=0.0, loss_rate=0.5)
+            t.attach(0)
+            t.attach(1)
+            for _ in range(200):
+                t.send(0, 1, Cheap())
+            assert 40 < t.dropped_count < 160
+
+        run(main())
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            AioTransport(delay=-1.0)
+        with pytest.raises(NetworkError):
+            AioTransport(loss_rate=2.0)
+
+
+class TestAioCluster:
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigError):
+            AioCluster("nope", n=4)
+
+    def test_lock_roundtrip(self):
+        async def main():
+            cluster = AioCluster("binary_search", n=6, seed=1, delay=DELAY)
+            await cluster.start()
+            try:
+                async with cluster.lock(3, timeout=5.0) as holder:
+                    assert holder == 3
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    def test_grants_are_serialized(self):
+        async def main():
+            cluster = AioCluster("binary_search", n=8, seed=2, delay=DELAY)
+            await cluster.start()
+            in_section = 0
+            overlaps = []
+
+            async def worker(node):
+                nonlocal in_section
+                async with cluster.lock(node, timeout=10.0):
+                    in_section += 1
+                    overlaps.append(in_section)
+                    await asyncio.sleep(0.003)
+                    in_section -= 1
+
+            try:
+                await asyncio.gather(*(worker(i) for i in range(8)))
+            finally:
+                await cluster.stop()
+            assert max(overlaps) == 1
+            assert sorted(cluster.grant_order) == list(range(8))
+
+        run(main())
+
+    def test_grant_order_is_total(self):
+        async def main():
+            cluster = AioCluster("ring", n=4, seed=3, delay=DELAY)
+            await cluster.start()
+            try:
+                for node in (2, 0, 3):
+                    async with cluster.lock(node, timeout=5.0):
+                        pass
+            finally:
+                await cluster.stop()
+            assert cluster.grant_order == [2, 0, 3]
+
+        run(main())
+
+    def test_acquire_unknown_member(self):
+        async def main():
+            cluster = AioCluster("ring", n=4, seed=4, delay=DELAY)
+            await cluster.start()
+            try:
+                with pytest.raises(MembershipError):
+                    await cluster.acquire(99)
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+
+class TestDynamicMembership:
+    def test_join_then_lock(self):
+        async def main():
+            cluster = AioCluster("binary_search", n=4, seed=5, delay=DELAY)
+            await cluster.start()
+            try:
+                new_id = await cluster.join()
+                assert new_id == 4
+                assert len(cluster.membership.view) == 5
+                async with cluster.lock(new_id, timeout=10.0):
+                    pass
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    def test_leave_then_ring_heals(self):
+        async def main():
+            cluster = AioCluster("binary_search", n=5, seed=6, delay=DELAY)
+            await cluster.start()
+            try:
+                await cluster.leave(2)
+                assert 2 not in cluster.membership.view
+                # Remaining members still get served.
+                async with cluster.lock(3, timeout=10.0):
+                    pass
+                async with cluster.lock(4, timeout=10.0):
+                    pass
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    def test_views_pushed_to_cores(self):
+        async def main():
+            cluster = AioCluster("binary_search", n=4, seed=7, delay=DELAY)
+            await cluster.start()
+            try:
+                await cluster.join()
+                for driver in cluster.drivers.values():
+                    assert len(driver.core.ring) == 5
+                    assert driver.core.ring.version == 1
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+    def test_join_with_sponsor_position(self):
+        async def main():
+            cluster = AioCluster("binary_search", n=3, seed=8, delay=DELAY)
+            await cluster.start()
+            try:
+                new_id = await cluster.join(sponsor=0)
+                assert cluster.membership.view.members == (0, new_id, 1, 2)
+            finally:
+                await cluster.stop()
+
+        run(main())
+
+
+class TestColocatedWaiters:
+    def test_one_grant_admits_one_waiter(self):
+        """Regression: two coroutines locking through the SAME node must be
+        serialized — one grant resolves exactly one waiter (FIFO)."""
+        async def main():
+            cluster = AioCluster("binary_search", n=4, seed=9, delay=DELAY)
+            await cluster.start()
+            inside = 0
+            worst = []
+
+            async def worker():
+                nonlocal inside
+                async with cluster.lock(2, timeout=10.0):
+                    inside += 1
+                    worst.append(inside)
+                    await asyncio.sleep(0.004)
+                    inside -= 1
+
+            try:
+                await asyncio.gather(worker(), worker(), worker())
+            finally:
+                await cluster.stop()
+            assert max(worst) == 1
+            assert cluster.grant_order.count(2) == 3
+
+        run(main())

@@ -1,0 +1,95 @@
+"""CLI tests (invoked in-process through ``repro.cli.main``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_default_run(self, capsys):
+        assert main(["simulate", "-n", "16", "--rounds", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "binary_search" in out
+        assert "avg_responsiveness" in out
+
+    def test_protocol_choice(self, capsys):
+        assert main(["simulate", "--protocol", "ring", "-n", "8",
+                     "--rounds", "20"]) == 0
+        assert "ring" in capsys.readouterr().out
+
+    def test_gc_and_pause_flags(self, capsys):
+        assert main(["simulate", "-n", "8", "--rounds", "20",
+                     "--trap-gc", "none", "--idle-pause", "2.0"]) == 0
+
+    def test_invalid_protocol_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--protocol", "bogus"])
+
+
+class TestCompare:
+    def test_prints_both_protocols(self, capsys):
+        assert main(["compare", "-n", "32", "--mean-interval", "50",
+                     "--rounds", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "ring" in out and "binary_search" in out
+        assert "log2(n)" in out
+
+
+class TestFigures:
+    def test_figure9_runs_small(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def tiny(rounds, seed):
+            from repro.analysis.experiments import run_figure9
+            return run_figure9(sizes=(8, 16), rounds=20, seed=seed)
+
+        monkeypatch.setattr(cli, "run_figure9",
+                            lambda rounds, seed: tiny(rounds, seed))
+        assert main(["figure9", "--rounds", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_figure10_runs_small(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def tiny(n, rounds, seed):
+            from repro.analysis.experiments import run_figure10
+            return run_figure10(intervals=(5, 50), n=16, rounds=20,
+                                seed=seed)
+
+        monkeypatch.setattr(cli, "run_figure10", tiny)
+        assert main(["figure10", "-n", "16", "--rounds", "20"]) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+
+class TestRefinement:
+    def test_chain_verifies(self, capsys):
+        assert main(["refinement", "-n", "3", "--steps", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "refinement chain verified" in out
+        assert "Thm 1" in out
+
+    def test_module_entry_point_exists(self):
+        import repro.__main__  # noqa: F401 — importable means runnable
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["report", "--rounds", "20", "--seeds", "1", "2",
+                     "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "# repro" in text
+        assert "Figure 9" in text and "Figure 10" in text
+        assert "±" in text
+        assert "wrote" in capsys.readouterr().out

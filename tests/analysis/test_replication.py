@@ -1,0 +1,77 @@
+"""Tests for multi-seed replication and the significance helper."""
+
+import pytest
+
+from repro.analysis.experiments import run_figure10
+from repro.analysis.replication import replicate, significantly_less
+
+
+class TestReplicate:
+    def test_aggregates_matching_rows(self):
+        def fake(seed):
+            return [
+                {"n": 8, "protocol": "ring", "value": 10.0 + seed},
+                {"n": 8, "protocol": "binary", "value": 5.0 + seed},
+            ]
+
+        rows = replicate(fake, seeds=[0, 1, 2], key_fields=("n", "protocol"),
+                         value_fields=("value",))
+        assert len(rows) == 2
+        ring = next(r for r in rows if r["protocol"] == "ring")
+        assert ring["value_mean"] == pytest.approx(11.0)
+        assert ring["value_sd"] == pytest.approx(1.0)
+        assert ring["replications"] == 3
+        assert ring["value_ci"] > 0
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: [], seeds=[], key_fields=("a",),
+                      value_fields=("v",))
+
+    def test_misaligned_rows_detected(self):
+        def flaky(seed):
+            rows = [{"k": 1, "v": 1.0}]
+            if seed == 1:
+                rows.append({"k": 2, "v": 2.0})
+            return rows
+
+        with pytest.raises(ValueError):
+            replicate(flaky, seeds=[0, 1], key_fields=("k",),
+                      value_fields=("v",))
+
+    def test_missing_row_in_later_seed_detected(self):
+        def flaky(seed):
+            if seed == 0:
+                return [{"k": 1, "v": 1.0}, {"k": 2, "v": 2.0}]
+            return [{"k": 1, "v": 1.0}]
+
+        with pytest.raises(ValueError):
+            replicate(flaky, seeds=[0, 1], key_fields=("k",),
+                      value_fields=("v",))
+
+    def test_real_experiment_replication(self):
+        """Three seeds of a small Figure-10 point: the adaptive protocol
+        beats the ring beyond the 95 % noise band."""
+        def experiment(seed):
+            return run_figure10(intervals=(100,), n=32, rounds=40, seed=seed)
+
+        rows = replicate(experiment, seeds=[1, 2, 3],
+                         key_fields=("protocol", "mean_interval"),
+                         value_fields=("avg_responsiveness",))
+        by = {r["protocol"]: r for r in rows}
+        assert by["binary_search"]["avg_responsiveness_mean"] < \
+            by["ring"]["avg_responsiveness_mean"]
+        assert by["binary_search"]["avg_responsiveness_ci"] >= 0
+
+
+class TestSignificance:
+    def test_clear_separation(self):
+        assert significantly_less([1.0, 1.1, 0.9], [5.0, 5.2, 4.8])
+
+    def test_overlap_is_not_significant(self):
+        assert not significantly_less([1.0, 5.0], [3.0, 4.0])
+
+    def test_not_symmetric(self):
+        a, b = [1.0, 1.1, 0.9], [5.0, 5.2, 4.8]
+        assert significantly_less(a, b)
+        assert not significantly_less(b, a)

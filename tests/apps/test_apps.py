@@ -1,0 +1,178 @@
+"""Tests for the applications: mutual exclusion, totally-ordered
+broadcast, and round-robin scheduling."""
+
+import pytest
+
+from repro.apps.broadcast import TotalOrderBroadcast
+from repro.apps.mutex import SimMutex
+from repro.apps.scheduler import RoundRobinScheduler
+from repro.core.cluster import Cluster
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError, ProtocolError
+
+
+def mutex_cluster(protocol="binary_search", n=16, seed=0):
+    return Cluster.build(protocol, n=n, seed=seed,
+                         config=ProtocolConfig(hold_until_release=True))
+
+
+class TestSimMutex:
+    def test_requires_hold_mode(self):
+        cluster = Cluster.build("ring", n=4)
+        with pytest.raises(ProtocolError):
+            SimMutex(cluster)
+
+    def test_exclusion_under_contention(self):
+        cluster = mutex_cluster()
+        mutex = SimMutex(cluster)
+        entered = []
+        for node in range(8):
+            cluster.sim.schedule_at(
+                5.0 + 0.1 * node, mutex.acquire, node,
+                lambda nd: entered.append(nd), 3.0)
+        cluster.run(until=2000, max_events=2_000_000)
+        assert sorted(entered) == list(range(8))
+        mutex.assert_serialized()
+        assert len(mutex.history) == 8
+
+    def test_critical_sections_have_duration(self):
+        cluster = mutex_cluster()
+        mutex = SimMutex(cluster)
+        cluster.sim.schedule_at(5.0, mutex.acquire, 3, lambda nd: None, 7.0)
+        cluster.run(until=200, max_events=500_000)
+        node, enter, exit_ = mutex.history[0]
+        assert node == 3
+        assert exit_ - enter == 7.0
+
+    def test_double_acquire_rejected(self):
+        cluster = mutex_cluster()
+        mutex = SimMutex(cluster)
+        mutex.acquire(3, lambda nd: None, 5.0)
+        with pytest.raises(ProtocolError):
+            mutex.acquire(3, lambda nd: None, 5.0)
+
+    def test_holder_visible_during_section(self):
+        cluster = mutex_cluster()
+        mutex = SimMutex(cluster)
+        observed = []
+        cluster.sim.schedule_at(5.0, mutex.acquire, 2,
+                                lambda nd: observed.append(mutex.holder), 4.0)
+        cluster.run(until=100, max_events=500_000)
+        assert observed == [2]
+        assert mutex.holder is None
+
+    def test_works_on_ring_protocol_too(self):
+        cluster = mutex_cluster(protocol="ring")
+        mutex = SimMutex(cluster)
+        entered = []
+        for node in (1, 5, 9):
+            cluster.sim.schedule_at(3.0, mutex.acquire, node,
+                                    lambda nd: entered.append(nd), 2.0)
+        cluster.run(until=500, max_events=500_000)
+        assert sorted(entered) == [1, 5, 9]
+        mutex.assert_serialized()
+
+
+class TestTotalOrderBroadcast:
+    def test_requires_auto_release(self):
+        cluster = mutex_cluster()
+        with pytest.raises(ProtocolError):
+            TotalOrderBroadcast(cluster)
+
+    def test_same_order_everywhere(self):
+        cluster = Cluster.build("binary_search", n=8, seed=1)
+        app = TotalOrderBroadcast(cluster)
+        for t, node, payload in [(5.0, 1, "a"), (5.1, 6, "b"),
+                                 (5.2, 3, "c"), (40.0, 6, "d")]:
+            cluster.sim.schedule_at(t, app.publish, node, payload)
+        cluster.run(until=300, max_events=500_000)
+        assert len(app.history) == 4
+        app.assert_prefix_property()
+        assert app.delivered_everywhere() == 4
+        payloads = [p for _, _, p in app.history]
+        assert sorted(payloads) == ["a", "b", "c", "d"]
+        for log in app.logs.values():
+            assert [p for _, _, p in log] == payloads
+
+    def test_logs_are_prefixes_mid_flight(self):
+        cluster = Cluster.build("binary_search", n=8, seed=2,
+                                delay=None)
+        app = TotalOrderBroadcast(cluster, delivery_delay=10.0)
+        cluster.sim.schedule_at(5.0, app.publish, 1, "x")
+        cluster.sim.schedule_at(5.1, app.publish, 2, "y")
+        # Stop mid-delivery: logs lag but remain prefixes.
+        cluster.run(until=16.0, max_events=500_000)
+        app.assert_prefix_property()
+
+    def test_multiple_payloads_per_grant_keep_order(self):
+        cluster = Cluster.build("binary_search", n=4, seed=3)
+        app = TotalOrderBroadcast(cluster)
+        cluster.sim.schedule_at(5.0, app.publish, 2, "m1")
+        cluster.sim.schedule_at(5.0, app.publish, 2, "m2")
+        cluster.run(until=100, max_events=500_000)
+        mine = [p for _, node, p in app.history if node == 2]
+        assert mine == ["m1", "m2"]
+
+    def test_sequence_numbers_dense(self):
+        cluster = Cluster.build("ring", n=4, seed=4)
+        app = TotalOrderBroadcast(cluster)
+        for t, node in [(3.0, 1), (4.0, 3), (5.0, 2)]:
+            cluster.sim.schedule_at(t, app.publish, node, t)
+        cluster.run(until=100, max_events=500_000)
+        assert [s for s, _, _ in app.history] == [0, 1, 2]
+
+
+class TestRoundRobinScheduler:
+    def test_quantum_validation(self):
+        cluster = Cluster.build("ring", n=4)
+        with pytest.raises(ConfigError):
+            RoundRobinScheduler(cluster, quantum=0)
+
+    def test_all_jobs_complete_with_results(self):
+        cluster = Cluster.build("ring", n=4, seed=5)
+        sched = RoundRobinScheduler(cluster)
+        ids = [sched.submit(i % 4, lambda i=i: i * i) for i in range(12)]
+        sched.run_until_drained()
+        assert sched.pending() == 0
+        done = {job_id: result for job_id, _, _, result in sched.completed}
+        assert done == {i: i * i for i in range(12)}
+
+    def test_round_robin_interleaving(self):
+        """With one job per node and quantum 1, completion follows the
+        rotation order."""
+        cluster = Cluster.build("ring", n=4, seed=6)
+        sched = RoundRobinScheduler(cluster, quantum=1, eager=False)
+        for node in range(4):
+            sched.submit(node, lambda node=node: node)
+        sched.run_until_drained()
+        order = [node for _, node, _, _ in sched.completed]
+        start = order[0]
+        assert order == [(start + k) % 4 for k in range(4)]
+
+    def test_quantum_limits_per_visit(self):
+        cluster = Cluster.build("ring", n=2, seed=7)
+        sched = RoundRobinScheduler(cluster, quantum=2, eager=False)
+        for _ in range(5):
+            sched.submit(0, lambda: None)
+        sched.run_until_drained()
+        # 5 jobs at quantum 2 need 3 visits: completions at 3 distinct times.
+        times = {t for _, _, t, _ in sched.completed}
+        assert len(times) == 3
+
+    def test_eager_mode_faster_than_patient(self):
+        durations = {}
+        for eager in (True, False):
+            cluster = Cluster.build("binary_search", n=32, seed=8)
+            sched = RoundRobinScheduler(cluster, eager=eager)
+            cluster.start()
+            cluster.run(until=100.5)  # token mid-ring
+            sched.submit(5, lambda: None)
+            sched.run_until_drained()
+            durations[eager] = sched.completed[0][2]
+        assert durations[True] <= durations[False]
+
+    def test_submit_to_unknown_node_rejected(self):
+        cluster = Cluster.build("ring", n=4)
+        sched = RoundRobinScheduler(cluster)
+        with pytest.raises(ConfigError):
+            sched.submit(99, lambda: None)

@@ -1,0 +1,137 @@
+"""Tests for the view-synchronous group messaging app."""
+
+import pytest
+
+from repro.apps.groups import GroupEvent, ViewSynchronousGroup
+from repro.core.cluster import Cluster
+from repro.core.config import ProtocolConfig
+from repro.errors import MembershipError, ProtocolError
+
+
+def group(n=6, seed=0, protocol="binary_search"):
+    cluster = Cluster.build(protocol, n=n, seed=seed)
+    return cluster, ViewSynchronousGroup(cluster)
+
+
+class TestTotalOrder:
+    def test_messages_delivered_same_order_everywhere(self):
+        cluster, g = group()
+        for t, node, payload in [(5.0, 1, "a"), (5.1, 4, "b"), (5.2, 2, "c")]:
+            cluster.sim.schedule_at(t, g.send, node, payload)
+        cluster.run(until=200, max_events=200_000)
+        assert len(g.history) == 3
+        g.assert_view_synchrony()
+        assert g.delivered_sequences_agree()
+        for log in g.logs.values():
+            assert [e.payload for e in log] == \
+                [e.payload for e in g.history]
+
+    def test_sequence_numbers_dense_and_increasing(self):
+        cluster, g = group()
+        for t, node in [(3.0, 0), (4.0, 5), (5.0, 2)]:
+            cluster.sim.schedule_at(t, g.send, node, t)
+        cluster.run(until=100, max_events=200_000)
+        assert [e.seq for e in g.history] == [0, 1, 2]
+
+
+class TestViewChanges:
+    def test_leave_installs_view_in_order(self):
+        cluster, g = group()
+        cluster.sim.schedule_at(5.0, g.send, 1, "before")
+        cluster.sim.schedule_at(20.0, g.request_leave, 3)
+        cluster.sim.schedule_at(40.0, g.send, 1, "after")
+        cluster.run(until=300, max_events=200_000)
+        kinds = [(e.kind, e.payload) for e in g.history]
+        assert ("view", None) in kinds
+        view_idx = next(i for i, e in enumerate(g.history)
+                        if e.kind == "view")
+        before_idx = next(i for i, e in enumerate(g.history)
+                          if e.payload == "before")
+        after_idx = next(i for i, e in enumerate(g.history)
+                         if e.payload == "after")
+        assert before_idx < view_idx < after_idx
+        g.assert_view_synchrony()
+        # The departed member missed the post-view message.
+        assert all(e.payload != "after" for e in g.logs[3])
+
+    def test_join_installs_view(self):
+        cluster, g = group(n=6)
+        # Start with node 5 out of the group.
+        cluster.sim.schedule_at(2.0, g.request_leave, 5)
+        cluster.sim.schedule_at(30.0, g.request_join, 0, 5)
+        cluster.sim.schedule_at(60.0, g.send, 5, "hello again")
+        cluster.run(until=400, max_events=200_000)
+        views = [e for e in g.history if e.kind == "view"]
+        assert len(views) == 2
+        assert 5 not in views[0].members
+        assert 5 in views[1].members
+        g.assert_view_synchrony()
+        assert any(e.payload == "hello again" for e in g.logs[5])
+
+    def test_member_messages_after_leave_dropped(self):
+        cluster, g = group()
+        # Node 3 queues a message but its leave is processed first (same
+        # grant): the message is dropped, never half-delivered.
+        cluster.sim.schedule_at(5.0, g.request_leave, 3)
+        cluster.sim.schedule_at(5.0, lambda: g._outbox.setdefault(3, []).append("zombie"))
+        cluster.run(until=200, max_events=200_000)
+        assert all(e.payload != "zombie" for e in g.history)
+        g.assert_view_synchrony()
+
+    def test_view_ids_monotone(self):
+        cluster, g = group()
+        cluster.sim.schedule_at(5.0, g.request_leave, 1)
+        cluster.sim.schedule_at(25.0, g.request_leave, 2)
+        cluster.run(until=300, max_events=200_000)
+        views = [e.view_id for e in g.history if e.kind == "view"]
+        assert views == sorted(views)
+        assert len(set(views)) == len(views)
+
+
+class TestValidation:
+    def test_send_from_non_member_rejected(self):
+        cluster, g = group()
+        cluster.sim.schedule_at(2.0, g.request_leave, 4)
+        cluster.run(until=100, max_events=200_000)
+        with pytest.raises(MembershipError):
+            g.send(4, "ghost")
+
+    def test_leave_twice_rejected(self):
+        cluster, g = group()
+        cluster.sim.schedule_at(2.0, g.request_leave, 4)
+        cluster.run(until=100, max_events=200_000)
+        with pytest.raises(MembershipError):
+            g.request_leave(4)
+
+    def test_cannot_empty_group(self):
+        cluster, g = group(n=2)
+        cluster.sim.schedule_at(2.0, g.request_leave, 1)
+        cluster.run(until=100, max_events=200_000)
+        with pytest.raises(MembershipError):
+            g.request_leave(0)
+
+    def test_join_existing_member_rejected(self):
+        cluster, g = group()
+        with pytest.raises(MembershipError):
+            g.request_join(0, 1)
+
+    def test_join_nonexistent_node_rejected(self):
+        cluster, g = group()
+        with pytest.raises(MembershipError):
+            g.request_join(0, 99)
+
+    def test_requires_auto_release(self):
+        cluster = Cluster.build("ring", n=4,
+                                config=ProtocolConfig(hold_until_release=True))
+        with pytest.raises(ProtocolError):
+            ViewSynchronousGroup(cluster)
+
+
+class TestGroupEvent:
+    def test_repr_and_equality(self):
+        v = GroupEvent(0, "view", 1, members=(0, 1))
+        m = GroupEvent(1, "message", 1, sender=0, payload="x")
+        assert "View" in repr(v)
+        assert "Msg" in repr(m)
+        assert v == GroupEvent(0, "view", 1, members=(0, 1))
+        assert v != m

@@ -1,0 +1,243 @@
+"""Integration tests: whole clusters of every protocol under workloads.
+
+These are the system-level correctness checks: every request is eventually
+served, exactly one token lineage exists, responsiveness obeys the paper's
+bounds (O(N) ring, O(log N) adaptive), FIFO fairness holds, and safety
+survives the loss of every cheap message.
+"""
+
+import math
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError, SimulationError
+from repro.workload.generators import (
+    BurstyWorkload,
+    FixedRateWorkload,
+    SingleShotWorkload,
+)
+
+PROTOCOLS = ["ring", "linear_search", "binary_search", "directed_search",
+             "hybrid", "fault_tolerant"]
+
+
+class TestClusterBasics:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            Cluster.build("nope", n=4)
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ConfigError):
+            Cluster.build("ring", n=0)
+
+    def test_run_needs_a_bound(self):
+        cluster = Cluster.build("ring", n=4)
+        with pytest.raises(SimulationError):
+            cluster.run()
+
+    def test_out_of_range_request_rejected(self):
+        cluster = Cluster.build("ring", n=4)
+        with pytest.raises(ConfigError):
+            cluster.request(99)
+
+    def test_duplicate_request_is_idempotent(self):
+        cluster = Cluster.build("ring", n=4)
+        cluster.start()
+        cluster.request(2)
+        cluster.request(2)
+        cluster.run(until=20)
+        assert cluster.responsiveness.grants() == 1
+
+    def test_rounds_counted(self):
+        cluster = Cluster.build("ring", n=8, seed=0)
+        cluster.run(rounds=10)
+        assert cluster.rounds >= 10
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            c = Cluster.build("binary_search", n=16, seed=42)
+            c.add_workload(FixedRateWorkload(mean_interval=5.0))
+            c.run(rounds=30)
+            results.append((c.responsiveness.grants(),
+                            c.messages.total,
+                            c.responsiveness.average_responsiveness()))
+        assert results[0] == results[1]
+
+    def test_different_seeds_differ(self):
+        outcomes = set()
+        for seed in (1, 2):
+            c = Cluster.build("binary_search", n=16, seed=seed)
+            c.add_workload(FixedRateWorkload(mean_interval=5.0))
+            c.run(rounds=30)
+            outcomes.add(c.messages.total)
+        assert len(outcomes) == 2
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+class TestEveryProtocolServes:
+    def test_single_request_served(self, protocol):
+        cluster = Cluster.build(protocol, n=16, seed=3)
+        cluster.add_workload(SingleShotWorkload([(10.0, 9)]))
+        cluster.run(until=500, max_events=500_000)
+        assert cluster.responsiveness.grants() == 1
+
+    def test_all_nodes_served_under_load(self, protocol):
+        cluster = Cluster.build(protocol, n=8, seed=4)
+        events = [(float(5 + 3 * i), i) for i in range(8)]
+        cluster.add_workload(SingleShotWorkload(events))
+        cluster.run(until=2000, max_events=2_000_000)
+        assert cluster.responsiveness.grants() == 8
+        assert cluster.responsiveness.outstanding == 0
+
+    def test_no_token_duplication_under_load(self, protocol):
+        cluster = Cluster.build(protocol, n=8, seed=5)
+        cluster.add_workload(FixedRateWorkload(mean_interval=3.0))
+        cluster.run(rounds=30, max_events=2_000_000)
+        # ProtocolError would have been raised on duplication; additionally
+        # the observable census never exceeds one.
+        assert cluster.token_census() <= 1
+
+
+class TestResponsivenessBounds:
+    def test_ring_single_request_bounded_by_n(self):
+        n = 32
+        cluster = Cluster.build("ring", n=n, seed=6)
+        cluster.add_workload(SingleShotWorkload([(100.3, 20)]))
+        cluster.run(until=400)
+        waits = cluster.responsiveness.waiting_samples
+        assert len(waits) == 1
+        assert waits[0] <= n + 1
+
+    def test_binary_single_request_logarithmic(self):
+        n = 128
+        cluster = Cluster.build("binary_search", n=n, seed=6)
+        cluster.add_workload(SingleShotWorkload([(100.3, 20)]))
+        cluster.run(until=1000)
+        waits = cluster.responsiveness.waiting_samples
+        assert len(waits) == 1
+        # Theorem 2: O(log N); constant factor ~3 covers loan round trips.
+        assert waits[0] <= 3 * math.log2(n) + 4
+
+    def test_binary_beats_ring_at_light_load(self):
+        n = 64
+        results = {}
+        for protocol in ("ring", "binary_search"):
+            cluster = Cluster.build(protocol, n=n, seed=7)
+            cluster.add_workload(FixedRateWorkload(mean_interval=200.0))
+            cluster.run(rounds=60)
+            results[protocol] = cluster.responsiveness.average_responsiveness()
+        assert results["binary_search"] < results["ring"] / 2
+
+    def test_saturation_parity(self):
+        """At saturation both protocols serve back-to-back (Section 1:
+        ring throughput is preserved)."""
+        n = 16
+        for protocol in ("ring", "binary_search"):
+            cluster = Cluster.build(protocol, n=n, seed=8)
+            cluster.add_workload(FixedRateWorkload(mean_interval=0.5))
+            cluster.run(rounds=40, max_events=2_000_000)
+            avg = cluster.responsiveness.average_responsiveness()
+            assert avg <= 3.0, f"{protocol} not O(1)-responsive at saturation"
+
+
+class TestFairness:
+    def test_theorem3_single_node_grant_bound(self):
+        """While a request waits, no single other node is served more than
+        ~log N times (Theorem 3's first bound, with loan slack)."""
+        n = 16
+        cluster = Cluster.build("binary_search", n=n, seed=9,
+                                track_fairness=True)
+        cluster.add_workload(FixedRateWorkload(mean_interval=1.0))
+        cluster.run(rounds=50, max_events=2_000_000)
+        auditor = cluster.fairness
+        assert auditor.records, "no completed requests audited"
+        assert auditor.worst_single_node_grants() <= 2 * math.log2(n) + 2
+
+    def test_theorem3_possession_bound_single_burst(self):
+        """Theorem 3's setting: all nodes request once, simultaneously.
+        While any one of them waits, others hold the token at most
+        ~N + log N times (grants + circulation visits)."""
+        n = 16
+        cluster = Cluster.build("binary_search", n=n, seed=9,
+                                track_fairness=True)
+        cluster.add_workload(SingleShotWorkload(
+            [(10.0 + 0.01 * i, i) for i in range(n)]))
+        cluster.run(until=600, max_events=2_000_000)
+        auditor = cluster.fairness
+        assert len(auditor.records) == n
+        assert auditor.worst_possessions() <= 2 * n + 2 * math.log2(n)
+
+    def test_no_starvation_with_hot_competitor(self):
+        """A node requesting constantly cannot starve another requester."""
+        cluster = Cluster.build("binary_search", n=16, seed=10)
+        served = []
+        cluster.on_grant(lambda node, seq, now: served.append((node, now)))
+
+        def re_request(node, req_seq, now, c=cluster):
+            if node == 0:
+                c.sim.schedule(0.5, c.request, 0)
+        cluster.on_grant(re_request)
+        cluster.start()
+        cluster.request(0)
+        cluster.sim.schedule_at(50.0, cluster.request, 8)
+        cluster.run(until=300, max_events=2_000_000)
+        assert any(node == 8 for node, _ in served), "node 8 starved"
+        # And it was served promptly despite the hot competitor.
+        when = next(t for node, t in served if node == 8)
+        assert when - 50.0 <= 2 * 16
+
+
+class TestCheapMessageLoss:
+    def test_safety_and_liveness_with_total_gimme_loss(self):
+        """The paper's duality: with every cheap message lost, the system
+        is exactly the ring — safe and live, just slower."""
+        cluster = Cluster.build("binary_search", n=16, seed=11,
+                                loss_rate=0.999999)
+        cluster.add_workload(SingleShotWorkload([(5.0, 7), (9.0, 12)]))
+        cluster.run(until=500, max_events=1_000_000)
+        assert cluster.responsiveness.grants() == 2
+        assert cluster.responsiveness.max_waiting() <= 2 * 16 + 2
+
+    def test_partial_loss_still_serves_everyone(self):
+        cluster = Cluster.build("binary_search", n=16, seed=12,
+                                loss_rate=0.4)
+        cluster.add_workload(FixedRateWorkload(mean_interval=10.0))
+        cluster.run(rounds=60, max_events=2_000_000)
+        assert cluster.responsiveness.grants() > 10
+        assert cluster.responsiveness.outstanding <= 2  # tail may be in flight
+
+    def test_duplication_of_cheap_messages_is_safe(self):
+        cluster = Cluster.build("binary_search", n=16, seed=13,
+                                dup_rate=0.5)
+        cluster.add_workload(FixedRateWorkload(mean_interval=5.0))
+        cluster.run(rounds=40, max_events=2_000_000)
+        assert cluster.token_census() <= 1
+        assert cluster.responsiveness.grants() > 5
+
+
+class TestMessageEconomy:
+    def test_binary_search_messages_per_request_logarithmic(self):
+        """Lemma 6: each request is forwarded O(log N) times."""
+        n = 128
+        cluster = Cluster.build("binary_search", n=n, seed=14)
+        events = [(float(100 + 500 * i), (17 * i) % n) for i in range(10)]
+        cluster.add_workload(SingleShotWorkload(events))
+        cluster.run(until=6000, max_events=5_000_000)
+        gimmes = cluster.messages.count("GimmeMsg")
+        grants = cluster.responsiveness.grants()
+        assert grants == 10
+        assert gimmes / grants <= math.log2(n) + 1
+
+    def test_linear_search_messages_linear(self):
+        n = 64
+        cluster = Cluster.build("linear_search", n=n, seed=15)
+        events = [(float(100 + 300 * i), (13 * i) % n) for i in range(5)]
+        cluster.add_workload(SingleShotWorkload(events))
+        cluster.run(until=2500, max_events=5_000_000)
+        asks = cluster.messages.count("AskMsg")
+        grants = cluster.responsiveness.grants()
+        assert grants == 5
+        assert asks / grants > math.log2(n)  # clearly super-logarithmic

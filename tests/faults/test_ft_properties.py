@@ -1,0 +1,110 @@
+"""Property-based fault-injection tests: random crash schedules against
+the fault-tolerant protocol's invariants.
+
+For every generated scenario (crash times, victims, requesters):
+
+- service eventually resumes for every surviving requester;
+- at most one token lineage is observable at rest among survivors;
+- epochs only move forward.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import Cluster
+from repro.core.config import ProtocolConfig
+
+SLOW = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+N = 10
+
+
+def ft_cluster(seed: int) -> Cluster:
+    config = ProtocolConfig(regen_timeout=80.0, census_window=5.0,
+                            loan_timeout=40.0)
+    return Cluster.build("fault_tolerant", n=N, seed=seed, config=config)
+
+
+def in_flight_victim(cluster: Cluster) -> int:
+    last = max(cluster.drivers,
+               key=lambda i: cluster.drivers[i].core.last_visit)
+    return (last + 1) % N
+
+
+@SLOW
+@given(seed=st.integers(0, 5000),
+       crash_at=st.floats(min_value=5.0, max_value=60.0),
+       requesters=st.sets(st.integers(0, N - 1), min_size=1, max_size=4))
+def test_survivors_always_served_after_holder_crash(seed, crash_at,
+                                                    requesters):
+    cluster = ft_cluster(seed)
+    cluster.start()
+    cluster.run(until=crash_at)
+    victim = in_flight_victim(cluster)
+    cluster.crash(victim)
+    survivors = [r for r in requesters if r != victim]
+    for k, node in enumerate(sorted(survivors)):
+        cluster.sim.schedule_at(crash_at + 2.0 + k, cluster.request, node)
+    cluster.run(until=crash_at + 2500, max_events=5_000_000)
+    assert cluster.responsiveness.grants() == len(survivors)
+    assert cluster.responsiveness.outstanding == 0
+    assert cluster.token_census() <= 1
+
+
+@SLOW
+@given(seed=st.integers(0, 5000),
+       gap=st.floats(min_value=300.0, max_value=600.0))
+def test_two_successive_crashes(seed, gap):
+    """Crash the in-flight recipient, recover, then crash another: the
+    epoch fence must survive repeated regenerations."""
+    cluster = ft_cluster(seed)
+    cluster.start()
+    cluster.run(until=20)
+    first = in_flight_victim(cluster)
+    cluster.crash(first)
+    requester = (first + 4) % N
+    cluster.request(requester)
+    cluster.run(until=20 + gap, max_events=5_000_000)
+    assert cluster.responsiveness.grants() == 1
+
+    second = in_flight_victim(cluster)
+    if second in (first,):
+        second = (first + 2) % N
+        cluster.crash(second)
+    else:
+        cluster.crash(second)
+    survivor = next(x for x in range(N)
+                    if x not in (first, second))
+    cluster.request(survivor)
+    cluster.run(until=20 + 2 * gap + 2500, max_events=10_000_000)
+    assert cluster.responsiveness.grants() == 2
+    epochs = [d.core.epoch for d in cluster.drivers.values()
+              if not d.crashed]
+    assert max(epochs) >= 1
+    assert cluster.token_census() <= 1
+
+
+@SLOW
+@given(seed=st.integers(0, 5000))
+def test_epochs_never_regress(seed):
+    cluster = ft_cluster(seed)
+    observed = {}
+
+    def watch(node, kind, payload, now):
+        core = cluster.drivers[node].core
+        previous = observed.get(node, 0)
+        assert core.epoch >= previous, "epoch regressed"
+        observed[node] = core.epoch
+
+    for driver in cluster.drivers.values():
+        driver.subscribe(watch)
+    cluster.start()
+    cluster.run(until=30)
+    victim = in_flight_victim(cluster)
+    cluster.crash(victim)
+    cluster.request((victim + 3) % N)
+    cluster.run(until=1500, max_events=5_000_000)
+    live_epochs = {d.core.epoch for d in cluster.drivers.values()
+                   if not d.crashed}
+    assert max(live_epochs) >= 1

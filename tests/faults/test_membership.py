@@ -1,0 +1,134 @@
+"""Unit tests for ring views and the membership service."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MembershipError
+from repro.faults.membership import MembershipService, RingView
+
+
+class TestRingView:
+    def test_basic_geometry(self):
+        view = RingView([10, 20, 30, 40])
+        assert view.succ(10) == 20
+        assert view.succ(40) == 10
+        assert view.pred(10) == 40
+        assert view.hop(10, 2) == 30
+        assert view.hop(10, -1) == 40
+        assert view.across(10) == 30
+
+    def test_distance(self):
+        view = RingView([1, 2, 3, 4])
+        assert view.distance(1, 3) == 2
+        assert view.distance(3, 1) == 2
+        assert view.distance(2, 2) == 0
+
+    def test_index_and_contains(self):
+        view = RingView([5, 7])
+        assert view.index(7) == 1
+        assert 5 in view and 6 not in view
+
+    def test_unknown_member_raises(self):
+        view = RingView([1])
+        with pytest.raises(MembershipError):
+            view.index(9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MembershipError):
+            RingView([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MembershipError):
+            RingView([1, 1])
+
+    def test_fingers_are_logarithmic(self):
+        view = RingView(list(range(16)))
+        fingers = view.fingers(0)
+        assert fingers == [8, 4, 2, 1]
+
+    def test_fingers_tiny_ring(self):
+        assert RingView([1]).fingers(1) == []
+        assert RingView([1, 2]).fingers(1) == [2]
+
+    def test_with_joined_at_end(self):
+        view = RingView([1, 2]).with_joined(3)
+        assert view.members == (1, 2, 3)
+        assert view.version == 1
+
+    def test_with_joined_after_sponsor(self):
+        view = RingView([1, 2, 3]).with_joined(9, after=1)
+        assert view.members == (1, 9, 2, 3)
+
+    def test_join_duplicate_rejected(self):
+        with pytest.raises(MembershipError):
+            RingView([1]).with_joined(1)
+
+    def test_with_left(self):
+        view = RingView([1, 2, 3]).with_left(2)
+        assert view.members == (1, 3)
+        assert view.version == 1
+
+    def test_cannot_remove_last(self):
+        with pytest.raises(MembershipError):
+            RingView([1]).with_left(1)
+
+    def test_leave_unknown_rejected(self):
+        with pytest.raises(MembershipError):
+            RingView([1, 2]).with_left(9)
+
+    def test_equality_and_hash(self):
+        assert RingView([1, 2], 0) == RingView([1, 2], 0)
+        assert RingView([1, 2], 0) != RingView([2, 1], 0)
+        assert hash(RingView([1, 2], 0)) == hash(RingView([1, 2], 0))
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=12,
+                    unique=True),
+           st.integers(-30, 30))
+    def test_hop_roundtrip(self, members, offset):
+        view = RingView(members)
+        start = members[0]
+        there = view.hop(start, offset)
+        assert view.hop(there, -offset) == start
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=12,
+                    unique=True))
+    def test_distance_consistent_with_hop(self, members):
+        view = RingView(members)
+        a, b = members[0], members[-1]
+        assert view.hop(a, view.distance(a, b)) == b
+
+
+class TestMembershipService:
+    def test_subscribe_gets_current_view(self):
+        service = MembershipService([1, 2])
+        seen = []
+        service.subscribe(seen.append)
+        assert seen[0].members == (1, 2)
+
+    def test_join_notifies(self):
+        service = MembershipService([1])
+        seen = []
+        service.subscribe(seen.append)
+        service.join(2)
+        assert seen[-1].members == (1, 2)
+        assert seen[-1].version == 1
+
+    def test_leave_notifies(self):
+        service = MembershipService([1, 2])
+        seen = []
+        service.subscribe(seen.append)
+        service.leave(2)
+        assert seen[-1].members == (1,)
+
+    def test_join_with_sponsor(self):
+        service = MembershipService([1, 2, 3])
+        view = service.join(9, sponsor=2)
+        assert view.members == (1, 2, 9, 3)
+
+    def test_versions_monotone(self):
+        service = MembershipService([1])
+        v1 = service.join(2).version
+        v2 = service.join(3).version
+        v3 = service.leave(2).version
+        assert v1 < v2 < v3

@@ -1,0 +1,200 @@
+"""Unit tests for responsiveness tracking (Definition 3), counters,
+fairness auditing, and statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.metrics.counters import MessageCounters
+from repro.metrics.fairness import FairnessAuditor
+from repro.metrics.responsiveness import ResponsivenessTracker
+from repro.metrics.stats import (
+    confidence_interval,
+    mean,
+    median,
+    percentile,
+    stdev,
+    summarize,
+)
+
+
+class TestResponsiveness:
+    def test_single_request_period(self):
+        t = ResponsivenessTracker()
+        t.on_request(3, 1, 10.0)
+        t.on_grant(3, 1, 14.0)
+        assert t.responsiveness_samples == [4.0]
+        assert t.waiting_samples == [4.0]
+        assert t.outstanding == 0
+
+    def test_definition3_period_resets_on_any_grant(self):
+        """The period measures system readiness, not per-request waits:
+        when a *different* ready node is served, the period closes."""
+        t = ResponsivenessTracker()
+        t.on_request(1, 1, 0.0)    # period opens at 0
+        t.on_request(2, 1, 3.0)
+        t.on_grant(2, 1, 5.0)      # sample 5-0; period re-opens at 5
+        t.on_grant(1, 1, 9.0)      # sample 9-5
+        assert t.responsiveness_samples == [5.0, 4.0]
+        assert t.waiting_samples == [2.0, 9.0]
+
+    def test_period_closes_when_no_one_ready(self):
+        t = ResponsivenessTracker()
+        t.on_request(1, 1, 0.0)
+        t.on_grant(1, 1, 2.0)
+        t.on_request(1, 2, 100.0)
+        t.on_grant(1, 2, 101.0)
+        assert t.responsiveness_samples == [2.0, 1.0]
+
+    def test_duplicate_request_rejected(self):
+        t = ResponsivenessTracker()
+        t.on_request(1, 1, 0.0)
+        with pytest.raises(SimulationError):
+            t.on_request(1, 1, 1.0)
+
+    def test_grant_without_request_rejected(self):
+        t = ResponsivenessTracker()
+        with pytest.raises(SimulationError):
+            t.on_grant(1, 1, 0.0)
+
+    def test_aggregates(self):
+        t = ResponsivenessTracker()
+        for i, (req, grant) in enumerate([(0.0, 2.0), (10.0, 16.0)]):
+            t.on_request(i, 1, req)
+            t.on_grant(i, 1, grant)
+        assert t.average_responsiveness() == 4.0
+        assert t.max_responsiveness() == 6.0
+        assert t.average_waiting() == 4.0
+        assert t.max_waiting() == 6.0
+        assert t.grants() == 2
+
+    def test_empty_aggregates_are_zero(self):
+        t = ResponsivenessTracker()
+        assert t.average_responsiveness() == 0.0
+        assert t.max_responsiveness() == 0.0
+        assert t.average_waiting() == 0.0
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0.1, 50)),
+                    min_size=1, max_size=20))
+    def test_waits_always_nonnegative(self, reqs):
+        t = ResponsivenessTracker()
+        now = 0.0
+        for i, (gap, service) in enumerate(reqs):
+            now += gap
+            t.on_request(i % 7, i, now)
+            now += service
+            t.on_grant(i % 7, i, now)
+        assert all(w >= 0 for w in t.waiting_samples)
+        assert all(r >= 0 for r in t.responsiveness_samples)
+        assert t.max_responsiveness() >= t.average_responsiveness()
+
+
+class TestCounters:
+    class _Cheap:
+        reliable = False
+
+    class _Costly:
+        reliable = True
+
+    def test_split_by_reliability(self):
+        c = MessageCounters()
+        c.on_send(0, 1, self._Cheap())
+        c.on_send(0, 1, self._Costly())
+        c.on_send(0, 1, self._Costly())
+        assert c.cheap == 1
+        assert c.expensive == 2
+        assert c.total == 3
+
+    def test_by_type(self):
+        c = MessageCounters()
+        c.on_send(0, 1, self._Cheap())
+        assert c.count("_Cheap") == 1
+        assert c.count("Missing") == 0
+
+    def test_token_passes_aggregate(self):
+        from repro.core.messages import LoanMsg, LoanReturnMsg, TokenMsg
+        c = MessageCounters()
+        c.on_send(0, 1, TokenMsg(clock=1, round_no=0))
+        c.on_send(0, 1, LoanMsg(clock=1, round_no=0, lender=0,
+                                requester=2, req_seq=1))
+        c.on_send(2, 0, LoanReturnMsg(clock=1, round_no=0))
+        assert c.token_passes() == 3
+
+    def test_as_dict_snapshot(self):
+        c = MessageCounters()
+        c.on_send(0, 1, self._Cheap())
+        d = c.as_dict()
+        assert d["_total"] == 1 and d["_cheap"] == 1
+
+
+class TestFairness:
+    def test_grants_by_others_counted(self):
+        a = FairnessAuditor()
+        a.on_request(1, 1, 0.0)
+        a.on_grant(2, 1, 1.0)   # 2 wasn't tracked: still counts against 1
+        a.on_grant(1, 1, 2.0)
+        assert a.records == [(1, 1, 1, 1)]
+
+    def test_visits_count_as_possessions(self):
+        a = FairnessAuditor()
+        a.on_request(1, 1, 0.0)
+        a.on_visit(5, 0.5)
+        a.on_visit(6, 0.6)
+        a.on_visit(1, 0.7)      # own visit doesn't count
+        a.on_grant(1, 1, 1.0)
+        assert a.records[0][3] == 2
+
+    def test_worst_aggregates(self):
+        a = FairnessAuditor()
+        a.on_request(1, 1, 0.0)
+        for _ in range(3):
+            a.on_request(2, _ + 1, 0.1)
+            a.on_grant(2, _ + 1, 0.2)
+        a.on_grant(1, 1, 1.0)
+        assert a.worst_single_node_grants() == 3
+        assert a.worst_possessions() == 3
+
+    def test_empty_auditor(self):
+        a = FairnessAuditor()
+        assert a.worst_single_node_grants() == 0
+        assert a.worst_possessions() == 0
+
+
+class TestStats:
+    def test_mean_median(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert median([1, 2, 3, 100]) == 2.5
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([5.0]) == 0.0
+        assert stdev([2.0, 4.0]) == pytest.approx(1.4142, abs=1e-3)
+
+    def test_percentile_interpolation(self):
+        xs = [0.0, 10.0]
+        assert percentile(xs, 0) == 0.0
+        assert percentile(xs, 50) == 5.0
+        assert percentile(xs, 100) == 10.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_confidence_interval_brackets_mean(self):
+        lo, hi = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert lo < 2.5 < hi
+
+    def test_summarize_keys(self):
+        s = summarize([1.0, 2.0])
+        assert set(s) == {"n", "mean", "stdev", "median", "p95", "max"}
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50))
+    def test_percentile_monotone(self, xs):
+        assert percentile(xs, 10) <= percentile(xs, 90)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=2, max_size=50))
+    def test_mean_between_min_max(self, xs):
+        assert min(xs) - 1e-6 <= mean(xs) <= max(xs) + 1e-6

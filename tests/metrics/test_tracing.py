@@ -1,0 +1,105 @@
+"""Tests for the trace recorder and its derived statistics."""
+
+import math
+
+from repro.core.cluster import Cluster
+from repro.core.config import ProtocolConfig
+from repro.metrics.tracing import TraceRecorder
+from repro.workload.generators import FixedRateWorkload, SingleShotWorkload
+
+
+class TestEventStream:
+    def test_hops_recorded_in_order(self):
+        cluster = Cluster.build("ring", n=4, seed=0)
+        trace = TraceRecorder(cluster)
+        cluster.run(rounds=2, max_events=100)
+        hops = [e for e in trace.events if e.kind == "hop"]
+        assert len(hops) >= 8
+        for a, b in zip(hops, hops[1:]):
+            assert a.time <= b.time
+            assert b.src == a.dst  # the token's path is a chain
+
+    def test_grant_and_loan_events(self):
+        cluster = Cluster.build("binary_search", n=16, seed=1)
+        trace = TraceRecorder(cluster)
+        cluster.add_workload(SingleShotWorkload([(30.3, 5)]))
+        cluster.run(until=100, max_events=10_000)
+        assert trace.count("grant") == 1
+        assert trace.count("gimme") >= 1
+        # A loan implies its return.
+        assert trace.count("loan") == trace.count("loan_return")
+
+    def test_timeline_window(self):
+        cluster = Cluster.build("ring", n=4, seed=0)
+        trace = TraceRecorder(cluster)
+        cluster.run(until=20, max_events=1000)
+        window = trace.timeline(5.0, 10.0)
+        assert window
+        assert all(5.0 <= e.time <= 10.0 for e in window)
+
+
+class TestDerivedStats:
+    def test_search_depth_bounded_by_lemma6(self):
+        n = 64
+        cluster = Cluster.build("binary_search", n=n, seed=2)
+        trace = TraceRecorder(cluster)
+        events = [(float(50 + 200 * k), (7 * k) % n) for k in range(6)]
+        cluster.add_workload(SingleShotWorkload(events))
+        cluster.run(until=1500, max_events=200_000)
+        assert trace.max_search_depth() <= math.log2(n) + 1
+
+    def test_travel_per_grant_light_load(self):
+        """Ring: the token travels ~n/2 per grant at light load; binary:
+        ~log n (plus the loan round trip)."""
+        travel = {}
+        for protocol in ("ring", "binary_search"):
+            cluster = Cluster.build(protocol, n=64, seed=3)
+            trace = TraceRecorder(cluster)
+            cluster.add_workload(FixedRateWorkload(mean_interval=150.0))
+            cluster.run(rounds=40, max_events=500_000)
+            travel[protocol] = trace.mean_travel_per_grant()
+        assert travel["ring"] > 20
+        # The binary token *also* rotates between grants; what matters is
+        # that its rotation is interrupted early by loans.
+        assert travel["binary_search"] < travel["ring"]
+
+    def test_ring_load_is_balanced(self):
+        cluster = Cluster.build("ring", n=16, seed=4)
+        trace = TraceRecorder(cluster)
+        cluster.run(rounds=50, max_events=100_000)
+        assert trace.load_imbalance() < 1.2
+
+    def test_push_root_is_imbalanced_short_term(self):
+        """Over a short window the parked virtual root is a clear hotspot;
+        over long runs the root's one-hop drift per serve smears the load
+        back around the ring — the "temporary virtual roots" of the
+        paper's conclusion."""
+        imbalance = {}
+        for horizon in (300, 1500):
+            config = ProtocolConfig(idle_pause=2.0)
+            cluster = Cluster.build("push", n=16, seed=5, config=config)
+            trace = TraceRecorder(cluster)
+            cluster.add_workload(FixedRateWorkload(mean_interval=50.0))
+            cluster.run(until=horizon, max_events=500_000)
+            imbalance[horizon] = trace.load_imbalance()
+        assert imbalance[300] > 1.4          # hotspot while parked
+        assert imbalance[1500] < imbalance[300]  # drift rebalances
+
+    def test_summary_keys(self):
+        cluster = Cluster.build("binary_search", n=8, seed=6)
+        trace = TraceRecorder(cluster)
+        cluster.add_workload(SingleShotWorkload([(10.4, 3)]))
+        cluster.run(until=50, max_events=10_000)
+        summary = trace.summary()
+        assert summary["grants"] == 1
+        assert set(summary) >= {"hops", "loans", "gimmes",
+                                "mean_travel_per_grant", "load_imbalance"}
+
+    def test_grant_latency_percentiles(self):
+        cluster = Cluster.build("binary_search", n=16, seed=7)
+        trace = TraceRecorder(cluster)
+        cluster.add_workload(FixedRateWorkload(mean_interval=20.0))
+        cluster.run(rounds=40, max_events=200_000)
+        p50 = trace.grant_latency_percentile(50)
+        p95 = trace.grant_latency_percentile(95)
+        assert 0 <= p50 <= p95

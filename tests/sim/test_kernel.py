@@ -1,0 +1,132 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_fifo_by_seq(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "low", priority=5)
+        sim.schedule(1.0, log.append, "high", priority=0)
+        sim.run()
+        assert log == ["high", "low"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, second)
+
+        def second():
+            log.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+
+class TestRunBounds:
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(10.0, log.append, 10)
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == [1, 10]
+
+    def test_until_with_empty_queue_still_advances(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i), log.append, i)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert log == [0, 1, 2]
+
+    def test_stop_from_handler(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append("x"), sim.stop()))
+        sim.schedule(2.0, log.append, "never")
+        sim.run()
+        assert log == ["x"]
+        assert sim.pending() == 1
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def evil():
+            sim.run()
+
+        sim.schedule(1.0, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, log.append, "no")
+        sim.schedule(2.0, log.append, "yes")
+        event.cancel()
+        sim.run()
+        assert log == ["yes"]
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert sim.pending() == 1
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_cancel_from_handler(self):
+        sim = Simulator()
+        log = []
+        later = sim.schedule(5.0, log.append, "later")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert log == []

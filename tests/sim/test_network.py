@@ -1,0 +1,193 @@
+"""Unit tests for the simulated network: delays, loss, partitions, and the
+expensive/cheap reliability split."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.network import (
+    ConstantDelay,
+    ExponentialDelay,
+    Network,
+    UniformDelay,
+)
+
+
+@dataclass(frozen=True)
+class Cheap:
+    payload: int = 0
+    reliable = False
+
+
+@dataclass(frozen=True)
+class Expensive:
+    payload: int = 0
+    reliable = True
+
+
+def make_net(loss_rate=0.0, dup_rate=0.0, delay=None, seed=0):
+    sim = Simulator()
+    net = Network(sim, random.Random(seed), delay=delay,
+                  loss_rate=loss_rate, dup_rate=dup_rate)
+    inboxes = {i: [] for i in range(4)}
+    for i in range(4):
+        net.attach(i, lambda src, msg, i=i: inboxes[i].append((src, msg)))
+    return sim, net, inboxes
+
+
+class TestDelivery:
+    def test_basic_delivery_with_unit_delay(self):
+        sim, net, inboxes = make_net()
+        net.send(0, 1, Expensive(7))
+        sim.run()
+        assert inboxes[1] == [(0, Expensive(7))]
+        assert sim.now == 1.0
+
+    def test_self_send_allowed(self):
+        sim, net, inboxes = make_net()
+        net.send(2, 2, Expensive())
+        sim.run()
+        assert inboxes[2] == [(2, Expensive())]
+
+    def test_unknown_sender_rejected(self):
+        sim, net, _ = make_net()
+        with pytest.raises(NetworkError):
+            net.send(99, 0, Expensive())
+
+    def test_detached_destination_counts_dropped(self):
+        sim, net, inboxes = make_net()
+        net.detach(1)
+        net.send(0, 1, Expensive())
+        sim.run()
+        assert net.dropped_count == 1
+
+    def test_double_attach_rejected(self):
+        sim, net, _ = make_net()
+        with pytest.raises(NetworkError):
+            net.attach(0, lambda s, m: None)
+
+    def test_counters(self):
+        sim, net, _ = make_net()
+        net.send(0, 1, Expensive())
+        net.send(1, 2, Expensive())
+        sim.run()
+        assert net.sent_count == 2
+        assert net.delivered_count == 2
+
+    def test_on_send_hook(self):
+        sim, net, _ = make_net()
+        seen = []
+        net.on_send.append(lambda s, d, m: seen.append((s, d)))
+        net.send(0, 3, Expensive())
+        assert seen == [(0, 3)]
+
+
+class TestReliabilitySplit:
+    def test_cheap_messages_can_be_lost(self):
+        sim, net, inboxes = make_net(loss_rate=0.5, seed=1)
+        for _ in range(100):
+            net.send(0, 1, Cheap())
+        sim.run()
+        delivered = len(inboxes[1])
+        assert 20 < delivered < 80
+        assert net.dropped_count == 100 - delivered
+
+    def test_expensive_messages_never_lost(self):
+        sim, net, inboxes = make_net(loss_rate=0.9, seed=1)
+        for _ in range(50):
+            net.send(0, 1, Expensive())
+        sim.run()
+        assert len(inboxes[1]) == 50
+
+    def test_cheap_messages_can_be_duplicated(self):
+        sim, net, inboxes = make_net(dup_rate=0.5, seed=2)
+        for _ in range(100):
+            net.send(0, 1, Cheap())
+        sim.run()
+        assert len(inboxes[1]) > 100
+
+    def test_loss_rate_validation(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            Network(sim, random.Random(0), loss_rate=1.5)
+
+
+class TestCrash:
+    def test_crashed_node_receives_nothing(self):
+        sim, net, inboxes = make_net()
+        net.crash(1)
+        net.send(0, 1, Expensive())
+        sim.run()
+        assert inboxes[1] == []
+        assert net.is_down(1)
+
+    def test_recover(self):
+        sim, net, inboxes = make_net()
+        net.crash(1)
+        net.recover(1)
+        net.send(0, 1, Expensive())
+        sim.run()
+        assert len(inboxes[1]) == 1
+
+
+class TestPartition:
+    def test_partition_blocks_both_directions_for_cheap(self):
+        sim, net, inboxes = make_net()
+        net.partition(0, 1)
+        net.send(0, 1, Cheap())
+        net.send(1, 0, Cheap())
+        sim.run()
+        assert inboxes[0] == [] and inboxes[1] == []
+        assert net.dropped_count == 2
+
+    def test_partition_parks_expensive_until_heal(self):
+        sim, net, inboxes = make_net()
+        net.partition(0, 1)
+        net.send(0, 1, Expensive(42))
+        sim.run()
+        assert inboxes[1] == []
+        net.heal(0, 1)
+        sim.run()
+        assert inboxes[1] == [(0, Expensive(42))]
+
+    def test_unrelated_links_unaffected(self):
+        sim, net, inboxes = make_net()
+        net.partition(0, 1)
+        net.send(0, 2, Expensive())
+        sim.run()
+        assert len(inboxes[2]) == 1
+
+
+class TestDelayModels:
+    def test_constant_delay_validation(self):
+        with pytest.raises(NetworkError):
+            ConstantDelay(0.0)
+
+    def test_uniform_delay_bounds(self):
+        rng = random.Random(0)
+        model = UniformDelay(1.0, 2.0)
+        samples = [model.sample(rng, 0, 1) for _ in range(100)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+
+    def test_uniform_delay_validation(self):
+        with pytest.raises(NetworkError):
+            UniformDelay(2.0, 1.0)
+
+    def test_exponential_delay_positive_and_floored(self):
+        rng = random.Random(0)
+        model = ExponentialDelay(1.0, minimum=0.5)
+        samples = [model.sample(rng, 0, 1) for _ in range(200)]
+        assert all(s >= 0.5 for s in samples)
+
+    def test_exponential_mean_roughly_right(self):
+        rng = random.Random(3)
+        model = ExponentialDelay(2.0, minimum=0.0)
+        samples = [model.sample(rng, 0, 1) for _ in range(3000)]
+        assert 1.7 < sum(samples) / len(samples) < 2.3
+
+    def test_exponential_validation(self):
+        with pytest.raises(NetworkError):
+            ExponentialDelay(0.0)

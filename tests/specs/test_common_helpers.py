@@ -1,0 +1,122 @@
+"""Tests for the shared spec encodings and the error hierarchy."""
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import ReproError, SpecError
+from repro.specs.common import (
+    BOT,
+    ask_msg,
+    datum,
+    gimme_msg,
+    history_of,
+    hop,
+    ids_of,
+    in_msg,
+    initial_p,
+    initial_q,
+    loan_msg,
+    next_nonce,
+    out_msg,
+    pending_of,
+    pred,
+    proc,
+    succ,
+    token_msg,
+    trap,
+    visit,
+)
+from repro.trs.terms import Bag, Seq, Struct, atom, seq
+
+
+class TestRingArithmetic:
+    def test_succ_pred_inverse(self):
+        for n in (2, 5, 8):
+            for x in range(n):
+                assert pred(succ(x, n), n) == x
+                assert succ(pred(x, n), n) == x
+
+    def test_hop_signed(self):
+        assert hop(0, 8, 3) == 3
+        assert hop(0, 8, -3) == 5
+        assert hop(7, 8, 1) == 0
+
+    def test_multi_step(self):
+        assert succ(6, 8, 5) == 3
+        assert pred(1, 8, 4) == 5
+
+
+class TestConstructors:
+    def test_message_constructors_shape(self):
+        assert out_msg(1, 2, token_msg(Seq())).functor == "out"
+        assert in_msg(2, 1, loan_msg(Seq())).functor == "in"
+        assert ask_msg(3).args[0] == proc(3)
+        g = gimme_msg(4, Seq([visit(0)]), 2)
+        assert g.args[0] == atom(4)
+        assert trap(1, 2).args == (proc(1), proc(2))
+
+    def test_initial_collections(self):
+        q = initial_q(3)
+        p = initial_p(3)
+        assert len(q) == 3 and len(p) == 3
+        assert ids_of(q, "q") == [0, 1, 2]
+        assert ids_of(p, "p") == [0, 1, 2]
+
+    def test_bot_is_distinguished(self):
+        assert BOT != proc(0)
+        assert BOT == BOT
+
+
+class TestAccessors:
+    def test_pending_and_history_lookup(self):
+        q = Bag([Struct("q", (proc(0), seq(datum(0, 0))))])
+        assert pending_of(q, 0) == seq(datum(0, 0))
+        p = Bag([Struct("p", (proc(1), seq(visit(0))))])
+        assert history_of(p, 1) == seq(visit(0))
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(SpecError):
+            pending_of(Bag(), 0)
+        with pytest.raises(SpecError):
+            history_of(Bag(), 5)
+
+    def test_malformed_entry_raises(self):
+        bad = Bag([Struct("q", (proc(0), atom("oops")))])
+        with pytest.raises(SpecError):
+            pending_of(bad, 0)
+
+
+class TestNextNonce:
+    def test_empty_binding_starts_at_zero(self):
+        assert next_nonce({"Q": Bag()}, 0) == 0
+
+    def test_counts_across_all_bound_terms(self):
+        binding = {
+            "H": seq(datum(2, 0), datum(2, 3)),
+            "d": seq(datum(2, 1)),
+            "other": seq(datum(9, 7)),   # different node: ignored
+        }
+        assert next_nonce(binding, 2) == 4
+        assert next_nonce(binding, 9) == 8
+        assert next_nonce(binding, 5) == 0
+
+    def test_nested_structures_scanned(self):
+        payload = Struct("token", (seq(datum(1, 5)),))
+        binding = {"O": Bag([Struct("out", (proc(0), proc(1), payload))])}
+        assert next_nonce(binding, 1) == 6
+
+
+class TestErrorHierarchy:
+    def test_every_library_error_is_reproerror(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not ReproError:
+                if obj.__module__ == "repro.errors":
+                    assert issubclass(obj, ReproError), name
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise errors.TokenSafetyError("boom")
+        with pytest.raises(errors.ProtocolError):
+            raise errors.TokenSafetyError("boom")

@@ -1,0 +1,152 @@
+"""Bounded liveness checks: from every reachable state, service remains
+reachable — the model-checked complement to the safety properties."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.specs import system_binary_search as bs, system_search as srch
+from repro.specs import system_message_passing as mp
+from repro.specs.common import history_of
+from repro.specs.modelcheck import (
+    bound_data,
+    bound_requests,
+    bound_visits_soft,
+    check_goal_always_reachable,
+    explore_graph,
+)
+from repro.specs.properties import components
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.terms import atom, struct, var
+
+
+def datum_broadcast_goal(requester: int):
+    """Goal: the requester's datum has entered some local history — the
+    request was served and broadcast."""
+    def goal(state):
+        comp = components(state)
+        for entry in comp["P"]:
+            history = entry.args[1]
+            for event in history:
+                if (event.functor == "d"
+                        and event.args[0] == atom(requester)):
+                    return True
+        return False
+
+    return goal
+
+
+class TestServiceAlwaysReachable:
+    def test_mp_ring_service_reachable_everywhere(self):
+        rules = bound_data(mp.make_rules(3, ring=True), 1, nodes=(1,))
+        rw = Rewriter(rules, RuleContext())
+        result = check_goal_always_reachable(
+            rw, mp.initial_state(3), datum_broadcast_goal(1),
+            max_states=60_000)
+        assert result.complete
+
+    def test_search_restricted_service_reachable_everywhere(self):
+        rules = srch.make_rules(3, restricted=True)
+        rules = bound_data(rules, 1, nodes=(1,))
+        rules = bound_requests(rules, "5")
+        rw = Rewriter(rules, RuleContext())
+        result = check_goal_always_reachable(
+            rw, srch.initial_state(3), datum_broadcast_goal(1),
+            max_states=60_000)
+        assert result.complete
+
+    def test_binary_search_service_reachable_everywhere(self):
+        rules = bs.make_rules(3, restricted=True)
+        rules = bound_data(rules, 1, nodes=(2,))
+        rules = bound_requests(rules, "5")
+        # Soft bound: rotation stays available while the request is
+        # unserved, so the bound cannot fake a liveness violation.
+        rules = bound_visits_soft(rules, 5, "4")
+        rw = Rewriter(rules, RuleContext())
+        result = check_goal_always_reachable(
+            rw, bs.initial_state(3), datum_broadcast_goal(2),
+            max_states=80_000)
+        assert result.complete
+
+
+class TestMachinery:
+    def _counter(self, limit):
+        def inc_where(binding, ctx):
+            return {"v2": atom(binding["v"].value + 1)}
+
+        def guard(binding, ctx):
+            return binding["v"].value < limit
+
+        return RuleSet([Rule("inc", struct("c", var("v")),
+                             struct("c", var("v2")),
+                             guard=guard, where=inc_where)])
+
+    def test_dead_end_detected(self):
+        # Counter climbs to 2 and stops; goal "value == 9" is unreachable.
+        rw = Rewriter(self._counter(2))
+        with pytest.raises(SpecError):
+            check_goal_always_reachable(
+                rw, struct("c", atom(0)),
+                lambda s: s.args[0].value == 9)
+
+    def test_trap_state_detected(self):
+        # reset-to-zero sink: states past the goal can't return to it.
+        def inc(binding, ctx):
+            return {"v2": atom(binding["v"].value + 1)}
+
+        rules = RuleSet([
+            Rule("inc", struct("c", var("v")), struct("c", var("v2")),
+                 guard=lambda b, c: b["v"].value < 3, where=inc),
+        ])
+        rw = Rewriter(rules)
+        # goal: value == 1; states 2..3 can never come back to 1.
+        with pytest.raises(SpecError) as err:
+            check_goal_always_reachable(
+                rw, struct("c", atom(0)), lambda s: s.args[0].value == 1)
+        assert "never reach" in str(err.value)
+
+    def test_incomplete_graph_refuses_verdict(self):
+        rw = Rewriter(self._counter(1000))
+        result = check_goal_always_reachable(
+            rw, struct("c", atom(0)),
+            lambda s: s.args[0].value == 999, max_states=10)
+        assert not result.complete
+
+    def test_explore_graph_shape(self):
+        rw = Rewriter(self._counter(3))
+        states, edges, complete = explore_graph(rw, struct("c", atom(0)))
+        assert complete
+        assert len(states) == 4
+        assert edges[struct("c", atom(0))] == [struct("c", atom(1))]
+        assert edges[struct("c", atom(3))] == []
+
+
+class TestPrettyPrinting:
+    def test_state_renders_in_paper_notation(self):
+        from repro.trs.pretty import pretty
+        state = bs.initial_state(2)
+        text = pretty(state)
+        assert text.startswith("BS(")
+        assert "∅" in text
+
+    def test_reduction_rendering(self):
+        from repro.trs.pretty import pretty_reduction
+        rw, init = bs.make_system(2)
+        red = rw.random_reduction(init, 6, seed=1)
+        text = pretty_reduction(red, limit=3)
+        assert "-->" in text
+        assert text.count("BS(") >= 2
+
+    def test_payload_notation(self):
+        from repro.specs.common import gimme_msg, loan_msg, out_msg, token_msg
+        from repro.trs.pretty import pretty
+        from repro.trs.terms import Seq
+        assert "token" in pretty(out_msg(0, 1, token_msg(Seq())))
+        assert "→" in pretty(out_msg(0, 1, token_msg(Seq())))
+        assert "gimme" in pretty(out_msg(0, 1, gimme_msg(4, Seq(), 2)))
+        assert "loan" in pretty(out_msg(0, 1, loan_msg(Seq())))
+
+    def test_bot_renders_as_bottom(self):
+        from repro.specs.common import BOT
+        from repro.trs.pretty import pretty
+        assert pretty(BOT) == "⊥"

@@ -1,0 +1,126 @@
+"""Tests for the safety-property checkers themselves, plus the ⊂ / ⊂_C
+history relations (Figure 8 semantics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.specs.common import (
+    datum,
+    is_prefix,
+    is_ring_prefix,
+    project_data,
+    project_ring,
+    visit,
+)
+from repro.specs.properties import (
+    collect_histories,
+    components,
+    prefix_chain,
+    prefix_property,
+    token_count,
+)
+from repro.specs import system_binary_search as bs, system_message_passing as mp
+from repro.trs.terms import Bag, Seq, Struct, atom, seq
+
+
+class TestHistoryRelations:
+    def test_projection_keeps_only_visits(self):
+        h = Seq([datum(0, 0), visit(1), datum(2, 0), visit(2)])
+        assert list(project_ring(h)) == [visit(1), visit(2)]
+        assert list(project_data(h)) == [datum(0, 0), datum(2, 0)]
+
+    def test_ring_prefix_ignores_data_events(self):
+        a = Seq([visit(0), datum(5, 1)])
+        b = Seq([datum(9, 9), visit(0), visit(1)])
+        assert is_ring_prefix(a, b)
+
+    def test_ring_prefix_is_ordered(self):
+        a = Seq([visit(0)])
+        b = Seq([visit(0), visit(1)])
+        assert is_ring_prefix(a, b)
+        assert not is_ring_prefix(b, a)
+
+    def test_figure8_scenarios(self):
+        """Figure 8: (a) requester's history is longer -> token behind;
+        (b) probed node's history is longer -> token ahead."""
+        requester = Seq([visit(0), visit(1), visit(2)])
+        probed_a = Seq([visit(0)])                    # (a) H ⊂_C H_z
+        probed_b = Seq([visit(0), visit(1), visit(2), visit(3)])  # (b)
+        assert is_ring_prefix(probed_a, requester)
+        assert not is_ring_prefix(requester, probed_a)
+        assert is_ring_prefix(requester, probed_b)
+
+    @given(st.lists(st.integers(0, 3), max_size=6),
+           st.integers(0, 6))
+    def test_prefix_relation_via_truncation(self, tail, cut):
+        whole = Seq([visit(v) for v in tail])
+        prefix = Seq(whole.items[: min(cut, len(whole))])
+        assert is_prefix(prefix, whole)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=6))
+    def test_prefix_antisymmetry(self, events):
+        h = Seq([visit(v) for v in events])
+        extended = h.append(visit(9))
+        assert is_prefix(h, extended)
+        assert not is_prefix(extended, h)
+
+
+class TestPrefixChain:
+    def test_empty_and_singleton_are_chains(self):
+        assert prefix_chain([])
+        assert prefix_chain([seq(atom(1))])
+
+    def test_chain_of_prefixes(self):
+        h = seq(atom(1), atom(2), atom(3))
+        assert prefix_chain([Seq(h.items[:k]) for k in range(4)])
+
+    def test_fork_is_not_a_chain(self):
+        a = seq(atom(1), atom(2))
+        b = seq(atom(1), atom(3))
+        assert not prefix_chain([a, b])
+
+    def test_equal_length_divergence_detected(self):
+        assert not prefix_chain([seq(atom(1)), seq(atom(2))])
+
+
+class TestCheckers:
+    def test_components_rejects_unknown_functor(self):
+        with pytest.raises(SpecError):
+            components(Struct("Nope", ()))
+
+    def test_token_count_requires_token_field(self):
+        from repro.specs import system_s
+        with pytest.raises(SpecError):
+            token_count(system_s.initial_state(2))
+
+    def test_collect_histories_sees_messages(self):
+        rw, state = mp.make_system(2, ring=True, holder=0)
+        # After a send, the history lives in O.
+        for rule, binding in rw.instantiations(state):
+            if rule.name == "3'":
+                state = rw.apply(state, rule, binding)
+                break
+        histories = collect_histories(state)
+        # 2 local + 1 in the in-flight token message
+        assert len(histories) == 3
+
+    def test_prefix_property_detects_corruption(self):
+        state = bs.initial_state(2)
+        comp = components(state)
+        # Corrupt one local history with an event the system never produced.
+        bad_p = Bag([
+            Struct("p", (atom(0), seq(atom("rogue")))),
+            Struct("p", (atom(1), seq(atom("other")))),
+        ])
+        corrupted = Struct("BS", (comp["Q"], bad_p, comp["T"],
+                                  comp["I"], comp["O"], comp["W"]))
+        assert not prefix_property(corrupted)
+
+    def test_token_count_zero_when_lost(self):
+        from repro.specs.common import BOT
+        state = mp.initial_state(2)
+        comp = components(state)
+        lost = Struct("MP", (comp["Q"], comp["P"], BOT, comp["I"], comp["O"]))
+        assert token_count(lost) == 0

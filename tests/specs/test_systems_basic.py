@@ -1,0 +1,139 @@
+"""Unit tests for Systems S, S1, Token: rule-by-rule behaviour."""
+
+import pytest
+
+from repro.specs import system_s, system_s1, system_token
+from repro.specs.common import (
+    datum,
+    history_of,
+    pending_of,
+    proc,
+    q_pair,
+)
+from repro.specs.properties import components, global_history, prefix_property
+from repro.trs.strategies import first_applicable, prefer_rules
+from repro.trs.terms import Seq
+
+
+def run_rule(rewriter, state, rule_name):
+    """Apply the first enabled instantiation of the named rule."""
+    for rule, binding in rewriter.instantiations(state):
+        if rule.name == rule_name:
+            result = rewriter.apply(state, rule, binding)
+            if result is not None:
+                return result
+    raise AssertionError(f"rule {rule_name} not applicable")
+
+
+class TestSystemS:
+    def test_initial_state_shape(self):
+        state = system_s.initial_state(3)
+        comp = components(state)
+        assert len(comp["Q"]) == 3
+        assert comp["H"] == Seq()
+
+    def test_rule_1_queues_fresh_datum(self):
+        rw, state = system_s.make_system(2)
+        after = run_rule(rw, state, "1")
+        comp = components(after)
+        pendings = [pending_of(comp["Q"], x) for x in range(2)]
+        total = sum(len(p) for p in pendings)
+        assert total == 1
+
+    def test_rule_2_moves_data_to_history(self):
+        rw, state = system_s.make_system(1)
+        state = run_rule(rw, state, "1")
+        state = run_rule(rw, state, "2")
+        comp = components(state)
+        assert len(comp["H"]) == 1
+        assert pending_of(comp["Q"], 0) == Seq()
+
+    def test_fresh_data_are_distinct(self):
+        rw, state = system_s.make_system(1)
+        state = run_rule(rw, state, "1")
+        state = run_rule(rw, state, "1")
+        comp = components(state)
+        pending = pending_of(comp["Q"], 0)
+        assert len(pending) == 2
+        assert pending.items[0] != pending.items[1]
+
+    def test_fresh_data_distinct_across_broadcast(self):
+        rw, state = system_s.make_system(1)
+        state = run_rule(rw, state, "1")
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "1")
+        comp = components(state)
+        assert pending_of(comp["Q"], 0).items[0] not in list(comp["H"])
+
+    def test_restricted_rule_2_needs_data(self):
+        rw, state = system_s.make_system(2, restricted=True)
+        names = {r.name for r, _ in rw.instantiations(state)}
+        assert names == {"1"}
+
+    def test_unrestricted_rule_2_fires_on_empty(self):
+        rw, state = system_s.make_system(2, restricted=False)
+        names = {r.name for r, _ in rw.instantiations(state)}
+        assert names == {"1", "2"}
+
+
+class TestSystemS1:
+    def test_rule_3_copies_global_history(self):
+        rw, state = system_s1.make_system(2, restricted=True)
+        state = run_rule(rw, state, "1")
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "3")
+        comp = components(state)
+        copied = [history_of(comp["P"], x) for x in range(2)]
+        assert comp["H"] in copied
+
+    def test_prefix_property_along_reduction(self):
+        rw, state = system_s1.make_system(3, restricted=True)
+        red = rw.random_reduction(state, 120, seed=5)
+        red.check_invariant(prefix_property, "prefix")
+
+    def test_local_histories_start_empty(self):
+        state = system_s1.initial_state(3)
+        comp = components(state)
+        for x in range(3):
+            assert history_of(comp["P"], x) == Seq()
+
+
+class TestSystemToken:
+    def test_only_holder_broadcasts(self):
+        rw, state = system_token.make_system(3, ring=True, holder=1)
+        state = run_rule(rw, state, "1")  # someone queues data
+        # Rule 2 instantiations must all be at the holder.
+        holders = {b["x"] for r, b in rw.instantiations(state) if r.name == "2"}
+        assert holders == {proc(1)}
+
+    def test_ring_pass_goes_to_successor(self):
+        rw, state = system_token.make_system(3, ring=True, holder=1)
+        after = run_rule(rw, state, "2")
+        comp = components(after)
+        assert comp["T"] == proc(2)
+
+    def test_nondeterministic_pass_reaches_everyone(self):
+        rw, state = system_token.make_system(3, ring=False, holder=0)
+        targets = set()
+        for rule, binding in rw.instantiations(state):
+            if rule.name == "2":
+                succ = rw.apply(state, rule, binding)
+                targets.add(components(succ)["T"])
+        assert targets == {proc(0), proc(1), proc(2)}
+
+    def test_broadcast_updates_holder_local_history(self):
+        rw, state = system_token.make_system(2, ring=True, holder=0)
+        state = run_rule(rw, state, "1")
+        state = run_rule(rw, state, "2")
+        comp = components(state)
+        assert history_of(comp["P"], 0) == comp["H"]
+
+    def test_global_history_helper(self):
+        rw, state = system_token.make_system(2, ring=True)
+        state = run_rule(rw, state, "2")
+        assert global_history(state) == components(state)["H"]
+
+    def test_prefix_property_along_reduction(self):
+        rw, state = system_token.make_system(3, ring=False)
+        red = rw.random_reduction(state, 120, seed=6)
+        red.check_invariant(prefix_property, "prefix")

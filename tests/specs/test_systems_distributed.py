@@ -1,0 +1,213 @@
+"""Unit tests for Systems Message-Passing, Search, and BinarySearch."""
+
+import pytest
+
+from repro.specs import (
+    system_binary_search as bs,
+    system_message_passing as mp,
+    system_search as srch,
+)
+from repro.specs.common import BOT, proc, trap
+from repro.specs.properties import (
+    components,
+    prefix_property,
+    token_count,
+    token_uniqueness,
+)
+from repro.trs.terms import Struct
+
+
+def run_rule(rewriter, state, rule_name, pick=None):
+    """Apply one enabled instantiation of the named rule (optionally
+    filtered by a binding predicate)."""
+    for rule, binding in rewriter.instantiations(state):
+        if rule.name != rule_name:
+            continue
+        if pick is not None and not pick(binding):
+            continue
+        result = rewriter.apply(state, rule, binding)
+        if result is not None:
+            return result
+    raise AssertionError(f"rule {rule_name} not applicable")
+
+
+def applicable_names(rewriter, state):
+    return {r.name for r, _ in rewriter.instantiations(state)}
+
+
+class TestMessagePassing:
+    def test_token_send_sets_bot_and_enqueues(self):
+        rw, state = mp.make_system(3, ring=True, holder=0)
+        after = run_rule(rw, state, "3'")
+        comp = components(after)
+        assert comp["T"] == BOT
+        assert len(comp["O"]) == 1
+        assert token_count(after) == 1
+
+    def test_transmit_then_receive_restores_holder(self):
+        rw, state = mp.make_system(3, ring=True, holder=0)
+        state = run_rule(rw, state, "3'")
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "4")
+        comp = components(state)
+        assert comp["T"] == proc(1)
+        assert len(comp["I"]) == 0
+        assert len(comp["O"]) == 0
+
+    def test_ring_rotation_is_deterministic(self):
+        rw, state = mp.make_system(4, ring=True, holder=2)
+        for expected in (3, 0, 1, 2):
+            state = run_rule(rw, state, "3'")
+            state = run_rule(rw, state, "2")
+            state = run_rule(rw, state, "4")
+            assert components(state)["T"] == proc(expected)
+
+    def test_nondeterministic_send_has_n_choices(self):
+        rw, state = mp.make_system(3, ring=False, holder=0)
+        sends = [b for r, b in rw.instantiations(state) if r.name == "3"]
+        assert len(sends) == 3
+
+    def test_token_uniqueness_along_reduction(self):
+        rw, state = mp.make_system(3, ring=False)
+        red = rw.random_reduction(state, 150, seed=7)
+        red.check_invariant(token_uniqueness, "token uniqueness")
+        red.check_invariant(prefix_property, "prefix")
+
+    def test_receiver_adopts_token_history(self):
+        rw, state = mp.make_system(2, ring=True, holder=0)
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(0))
+        state = run_rule(rw, state, "3'")
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "4")
+        comp = components(state)
+        from repro.specs.common import history_of
+        assert len(history_of(comp["P"], 1)) == 1
+
+
+class TestSearch:
+    def test_restricted_search_traverses_ring(self):
+        rw, state = srch.make_system(4, restricted=True, holder=0)
+        # Node 2 queues data, then asks.
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(2))
+        state = run_rule(rw, state, "5")
+        comp = components(state)
+        # Own trap set, ask sent to successor 3.
+        assert trap(2, 2) in comp["W"]
+        out = list(comp["O"])[0]
+        assert out.args[1] == proc(3)
+
+    def test_ask_forwarding_lays_traps(self):
+        rw, state = srch.make_system(4, restricted=True, holder=0)
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(2))
+        state = run_rule(rw, state, "5")
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "6")
+        comp = components(state)
+        assert trap(3, 2) in comp["W"]
+
+    def test_holder_with_trap_sends_token(self):
+        rw, state = srch.make_system(4, restricted=True, holder=0)
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(2))
+        state = run_rule(rw, state, "5")
+        # forward ask around to the holder: 2 -> 3 -> 0
+        for _ in range(2):
+            state = run_rule(rw, state, "2")
+            state = run_rule(rw, state, "6")
+        comp = components(state)
+        assert trap(0, 2) in comp["W"]
+        state = run_rule(rw, state, "7")
+        comp = components(state)
+        assert comp["T"] == BOT
+        # The token heads straight to the requester.
+        tokens = [m for m in comp["O"]
+                  if isinstance(m.args[2], Struct) and m.args[2].functor == "token"]
+        assert tokens[0].args[1] == proc(2)
+
+    def test_requester_absorbs_own_ask(self):
+        rw, state = srch.make_system(3, restricted=True, holder=0)
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(1))
+        state = run_rule(rw, state, "5")
+        # 1 asked 2; forward 2 -> 0; 0 forwards to 1 (the requester).
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "6")
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "6")
+        state = run_rule(rw, state, "2")
+        # Requester's own ask comes home: rule 6a absorbs it.
+        state = run_rule(rw, state, "6a")
+        comp = components(state)
+        assert len(comp["I"]) == 0
+
+    def test_holder_clears_own_trap(self):
+        rw, state = srch.make_system(3, restricted=False, holder=1)
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(1))
+        state = run_rule(rw, state, "5")
+        comp = components(state)
+        assert trap(1, 1) in comp["W"]
+        state = run_rule(rw, state, "7s")
+        comp = components(state)
+        assert trap(1, 1) not in comp["W"]
+
+    def test_safety_along_unrestricted_reduction(self):
+        rw, state = srch.make_system(3, restricted=False)
+        red = rw.random_reduction(state, 150, seed=8,
+                                  weights={"5": 0.4, "6": 0.8})
+        red.check_invariant(token_uniqueness, "token uniqueness")
+        red.check_invariant(prefix_property, "prefix")
+
+
+class TestBinarySearch:
+    def test_rotation_appends_visit_event(self):
+        rw, state = bs.make_system(4, holder=0)
+        state = run_rule(rw, state, "4")
+        from repro.specs.common import project_ring, visit
+        comp = components(state)
+        token_out = list(comp["O"])[0]
+        history = token_out.args[2].args[0]
+        assert list(project_ring(history)) == [visit(0)]
+
+    def test_gimme_goes_across_the_ring(self):
+        rw, state = bs.make_system(8, holder=0)
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(2))
+        state = run_rule(rw, state, "5")
+        comp = components(state)
+        gimmes = [m for m in comp["O"] if m.args[2].functor == "gimme"]
+        assert gimmes[0].args[1] == proc(6)  # 2 + 8//2
+        assert gimmes[0].args[2].args[0].value == 4  # span = n//2
+
+    def test_rule6_halves_span(self):
+        rw, state = bs.make_system(8, holder=0)
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(2))
+        state = run_rule(rw, state, "5")
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "6")
+        comp = components(state)
+        gimmes = [m for m in comp["O"] if m.args[2].functor == "gimme"]
+        assert gimmes[0].args[2].args[0].value == 2
+
+    def test_loan_and_return_cycle(self):
+        rw, state = bs.make_system(4, holder=0)
+        # Node 2 requests; token holder 0 has not moved.
+        state = run_rule(rw, state, "1", pick=lambda b: b["x"] == proc(2))
+        state = run_rule(rw, state, "5")   # gimme to node 0 (2 + 2)
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "6")   # the holder traps (and forwards on)
+        comp = components(state)
+        assert trap(0, 2) in comp["W"]
+        state = run_rule(rw, state, "7")   # loan to 2
+        assert components(state)["T"] == BOT
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "8")   # requester broadcasts, returns token
+        comp = components(state)
+        tokens = [m for m in comp["O"] if m.args[2].functor == "token"]
+        assert tokens[0].args[1] == proc(0)
+        state = run_rule(rw, state, "2")
+        state = run_rule(rw, state, "3")   # lender re-receives the token
+        assert components(state)["T"] == proc(0)
+
+    def test_safety_along_reduction(self):
+        rw, state = bs.make_system(5)
+        red = rw.random_reduction(state, 250, seed=9,
+                                  weights={"1": 1.2, "2": 3.0, "5": 0.5})
+        red.check_invariant(token_uniqueness, "token uniqueness")
+        red.check_invariant(prefix_property, "prefix")

@@ -1,0 +1,187 @@
+"""Unit and property tests for pattern matching, including AC bag matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trs.matching import match, match_all, match_first, substitute
+from repro.trs.terms import (
+    Atom,
+    Bag,
+    Seq,
+    Struct,
+    Var,
+    Wildcard,
+    atom,
+    bag,
+    is_ground,
+    seq,
+    struct,
+    var,
+)
+
+
+class TestBasicMatching:
+    def test_atom_matches_equal_atom(self):
+        assert match_first(atom(1), atom(1)) == {}
+
+    def test_atom_rejects_different_atom(self):
+        assert match_first(atom(1), atom(2)) is None
+
+    def test_var_binds(self):
+        assert match_first(var("x"), atom(7)) == {"x": atom(7)}
+
+    def test_wildcard_matches_without_binding(self):
+        assert match_first(Wildcard(), struct("f", atom(1))) == {}
+
+    def test_struct_matches_componentwise(self):
+        binding = match_first(struct("f", var("a"), var("b")),
+                              struct("f", atom(1), atom(2)))
+        assert binding == {"a": atom(1), "b": atom(2)}
+
+    def test_struct_functor_mismatch(self):
+        assert match_first(struct("f", var("a")), struct("g", atom(1))) is None
+
+    def test_struct_arity_mismatch(self):
+        assert match_first(struct("f", var("a")),
+                           struct("f", atom(1), atom(2))) is None
+
+    def test_nonlinear_pattern_requires_equal_subterms(self):
+        pattern = struct("f", var("x"), var("x"))
+        assert match_first(pattern, struct("f", atom(1), atom(1))) == {"x": atom(1)}
+        assert match_first(pattern, struct("f", atom(1), atom(2))) is None
+
+    def test_seq_matches_elementwise(self):
+        assert match_first(seq(var("a"), atom(2)), seq(atom(1), atom(2))) \
+            == {"a": atom(1)}
+
+    def test_seq_length_mismatch(self):
+        assert match_first(seq(var("a")), seq(atom(1), atom(2))) is None
+
+    def test_var_matches_whole_seq(self):
+        assert match_first(var("H"), seq(atom(1), atom(2))) \
+            == {"H": seq(atom(1), atom(2))}
+
+
+class TestBagMatching:
+    def test_exact_multiset_match(self):
+        assert match_first(bag(atom(1), atom(2)), bag(atom(2), atom(1))) == {}
+
+    def test_element_var_binds_each_candidate(self):
+        bindings = match_all(bag(var("x"), rest=var("R")),
+                             bag(atom(1), atom(2)))
+        bound = {(b["x"], b["R"]) for b in bindings}
+        assert bound == {
+            (atom(1), bag(atom(2))),
+            (atom(2), bag(atom(1))),
+        }
+
+    def test_rest_captures_remainder(self):
+        binding = match_first(bag(atom(1), rest=var("R")),
+                              bag(atom(1), atom(2), atom(3)))
+        assert binding == {"R": bag(atom(2), atom(3))}
+
+    def test_no_rest_requires_same_size(self):
+        assert match_first(bag(atom(1)), bag(atom(1), atom(2))) is None
+
+    def test_empty_rest(self):
+        binding = match_first(bag(atom(1), rest=var("R")), bag(atom(1)))
+        assert binding == {"R": bag()}
+
+    def test_duplicate_elements_matched_once_per_shape(self):
+        # Identical candidates must not produce duplicate bindings.
+        bindings = match_all(bag(var("x"), rest=var("R")),
+                             bag(atom(1), atom(1)))
+        assert bindings == [{"x": atom(1), "R": bag(atom(1))}]
+
+    def test_two_element_patterns_distinct_elements(self):
+        pattern = bag(struct("p", var("a")), struct("p", var("b")))
+        term = bag(struct("p", atom(1)), struct("p", atom(2)))
+        bound = {(b["a"], b["b"]) for b in match_all(pattern, term)}
+        assert bound == {(atom(1), atom(2)), (atom(2), atom(1))}
+
+    def test_structured_selection(self):
+        # The paper's Q|(x, d_x) idiom: select one pair, bind the rest.
+        q = bag(struct("q", atom(0), seq()),
+                struct("q", atom(1), seq(atom("d"))))
+        pattern = bag(struct("q", var("x"), var("d")), rest=var("Q"))
+        bindings = match_all(pattern, q)
+        assert len(bindings) == 2
+        selected = {b["x"] for b in bindings}
+        assert selected == {atom(0), atom(1)}
+
+
+class TestSubstitute:
+    def test_replaces_bound_vars(self):
+        t = struct("f", var("x"), atom(2))
+        assert substitute(t, {"x": atom(1)}) == struct("f", atom(1), atom(2))
+
+    def test_unbound_vars_left_in_place(self):
+        t = substitute(var("x"), {})
+        assert t == var("x")
+
+    def test_bag_rest_splices_flat(self):
+        pattern = bag(atom(0), rest=var("R"))
+        result = substitute(pattern, {"R": bag(atom(1), atom(2))})
+        assert result == bag(atom(0), atom(1), atom(2))
+
+    def test_wildcard_survives(self):
+        assert substitute(Wildcard(), {}) == Wildcard()
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+ground_terms = st.recursive(
+    st.integers(min_value=0, max_value=5).map(atom),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3).map(lambda xs: Seq(xs)),
+        st.lists(children, max_size=3).map(lambda xs: Bag(xs)),
+        st.tuples(st.sampled_from(["f", "g"]), st.lists(children, max_size=3))
+          .map(lambda fa: Struct(fa[0], fa[1])),
+    ),
+    max_leaves=12,
+)
+
+
+@given(ground_terms)
+def test_ground_term_matches_itself(term):
+    assert match_first(term, term) == {}
+    assert is_ground(term)
+
+
+@given(ground_terms)
+def test_var_matches_any_ground_term(term):
+    assert match_first(var("x"), term) == {"x": term}
+
+
+@given(ground_terms)
+@settings(max_examples=60)
+def test_match_then_substitute_roundtrip(term):
+    """Matching a pattern then substituting the binding back into the
+    pattern reproduces the original term (for struct-shaped patterns)."""
+    pattern = struct("wrap", var("x"))
+    wrapped = struct("wrap", term)
+    binding = match_first(pattern, wrapped)
+    assert substitute(pattern, binding) == wrapped
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=5))
+@settings(max_examples=60)
+def test_bag_rest_substitution_roundtrip(values):
+    """Selecting any element from a bag and re-splicing the rest yields a
+    bag equal to the original (AC soundness)."""
+    ground = Bag([atom(v) for v in values])
+    pattern = bag(var("x"), rest=var("R"))
+    for binding in match_all(pattern, ground):
+        rebuilt = substitute(pattern, binding)
+        assert rebuilt == ground
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), max_size=4),
+       st.lists(st.integers(min_value=0, max_value=3), max_size=4))
+def test_bag_equality_is_multiset_equality(xs, ys):
+    bx = Bag([atom(v) for v in xs])
+    by = Bag([atom(v) for v in ys])
+    assert (bx == by) == (sorted(xs) == sorted(ys))

@@ -1,0 +1,197 @@
+"""Unit tests for the TRS term language."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.trs.terms import (
+    Atom,
+    Bag,
+    Seq,
+    Struct,
+    Var,
+    Wildcard,
+    atom,
+    bag,
+    is_ground,
+    seq,
+    struct,
+    var,
+    variables_of,
+)
+
+
+class TestAtom:
+    def test_equal_atoms(self):
+        assert Atom(3) == Atom(3)
+        assert Atom("x") == Atom("x")
+
+    def test_unequal_atoms(self):
+        assert Atom(3) != Atom(4)
+        assert Atom(3) != Atom("3")
+
+    def test_atom_is_not_var(self):
+        assert Atom("x") != Var("x")
+
+    def test_hashable(self):
+        assert len({Atom(1), Atom(1), Atom(2)}) == 2
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(TermError):
+            Atom([1, 2])
+
+    def test_is_ground(self):
+        assert is_ground(Atom(0))
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TermError):
+            Var("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(TermError):
+            Var(3)
+
+    def test_not_ground(self):
+        assert not is_ground(Var("x"))
+
+    def test_is_pattern(self):
+        assert Var("x").is_pattern()
+        assert not Atom(1).is_pattern()
+
+
+class TestWildcard:
+    def test_wildcards_equal(self):
+        assert Wildcard() == Wildcard()
+
+    def test_not_ground(self):
+        assert not is_ground(Wildcard())
+
+
+class TestStruct:
+    def test_equality(self):
+        assert struct("f", atom(1)) == struct("f", atom(1))
+        assert struct("f", atom(1)) != struct("g", atom(1))
+        assert struct("f", atom(1)) != struct("f", atom(2))
+
+    def test_arity_matters(self):
+        assert struct("f", atom(1)) != struct("f", atom(1), atom(2))
+
+    def test_functor_validation(self):
+        with pytest.raises(TermError):
+            Struct("", ())
+
+    def test_arg_type_validation(self):
+        with pytest.raises(TermError):
+            Struct("f", (42,))
+
+    def test_ground_when_args_ground(self):
+        assert is_ground(struct("f", atom(1), struct("g")))
+        assert not is_ground(struct("f", var("x")))
+
+
+class TestSeq:
+    def test_append_is_functional(self):
+        s1 = seq(atom(1))
+        s2 = s1.append(atom(2))
+        assert len(s1) == 1
+        assert len(s2) == 2
+
+    def test_extend(self):
+        s = seq().extend([atom(1), atom(2)])
+        assert s == seq(atom(1), atom(2))
+
+    def test_prefix_of_itself(self):
+        s = seq(atom(1), atom(2))
+        assert s.is_prefix_of(s)
+
+    def test_empty_prefix_of_everything(self):
+        assert seq().is_prefix_of(seq(atom(1)))
+
+    def test_proper_prefix(self):
+        assert seq(atom(1)).is_prefix_of(seq(atom(1), atom(2)))
+        assert not seq(atom(2)).is_prefix_of(seq(atom(1), atom(2)))
+
+    def test_longer_not_prefix(self):
+        assert not seq(atom(1), atom(2)).is_prefix_of(seq(atom(1)))
+
+    def test_order_matters_for_equality(self):
+        assert seq(atom(1), atom(2)) != seq(atom(2), atom(1))
+
+    def test_iteration(self):
+        assert list(seq(atom(1), atom(2))) == [atom(1), atom(2)]
+
+    def test_prefix_needs_seq(self):
+        with pytest.raises(TermError):
+            seq().is_prefix_of(atom(1))
+
+
+class TestBag:
+    def test_order_does_not_matter(self):
+        assert bag(atom(1), atom(2)) == bag(atom(2), atom(1))
+
+    def test_multiplicity_matters(self):
+        assert bag(atom(1), atom(1)) != bag(atom(1))
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(bag(atom(1), atom(2))) == hash(bag(atom(2), atom(1)))
+
+    def test_nested_ground_bags_flatten(self):
+        inner = bag(atom(1), atom(2))
+        outer = Bag([inner, atom(3)])
+        assert outer == bag(atom(1), atom(2), atom(3))
+
+    def test_add_remove(self):
+        b = bag(atom(1))
+        b2 = b.add(atom(2))
+        assert atom(2) in b2
+        b3 = b2.remove_one(atom(2))
+        assert b3 == b
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(TermError):
+            bag(atom(1)).remove_one(atom(9))
+
+    def test_remove_one_of_duplicates(self):
+        b = bag(atom(1), atom(1)).remove_one(atom(1))
+        assert b.count(atom(1)) == 1
+
+    def test_union(self):
+        assert bag(atom(1)).union(bag(atom(2))) == bag(atom(1), atom(2))
+
+    def test_rest_var_makes_pattern(self):
+        b = bag(atom(1), rest=var("Q"))
+        assert not is_ground(b)
+
+    def test_rest_must_be_var(self):
+        with pytest.raises(TermError):
+            Bag([atom(1)], rest=atom(2))
+
+    def test_cannot_mutate_pattern(self):
+        b = bag(rest=var("Q"))
+        with pytest.raises(TermError):
+            b.add(atom(1))
+        with pytest.raises(TermError):
+            b.union(bag(atom(1)))
+
+    def test_contains_and_count(self):
+        b = bag(atom(1), atom(1), atom(2))
+        assert atom(1) in b
+        assert b.count(atom(1)) == 2
+        assert b.count(atom(9)) == 0
+
+
+class TestVariablesOf:
+    def test_collects_nested_variables(self):
+        t = struct("f", var("x"), bag(struct("g", var("y")), rest=var("R")))
+        assert variables_of(t) == {"x", "y", "R"}
+
+    def test_ground_term_has_none(self):
+        assert variables_of(struct("f", atom(1))) == frozenset()
+
+    def test_seq_variables(self):
+        assert variables_of(seq(var("a"), atom(2))) == {"a"}

@@ -1,0 +1,135 @@
+"""Unit tests for workload generators (statistics and wiring)."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.errors import ConfigError
+from repro.workload.generators import (
+    BurstyWorkload,
+    FixedRateWorkload,
+    HotspotWorkload,
+    SaturatedWorkload,
+    SingleShotWorkload,
+    UniformIntervalWorkload,
+)
+
+
+def run_with(workload, n=16, seed=0, until=2000.0, protocol="ring"):
+    cluster = Cluster.build(protocol, n=n, seed=seed)
+    requests = []
+    original = cluster.request
+
+    def spy(node):
+        requests.append((cluster.sim.now, node))
+        original(node)
+
+    cluster.request = spy
+    cluster.add_workload(workload)
+    cluster.run(until=until, max_events=2_000_000)
+    return cluster, requests
+
+
+class TestValidation:
+    def test_fixed_rate_interval_positive(self):
+        with pytest.raises(ConfigError):
+            FixedRateWorkload(0.0)
+
+    def test_uniform_interval_positive(self):
+        with pytest.raises(ConfigError):
+            UniformIntervalWorkload(-1.0)
+
+    def test_bursty_validation(self):
+        with pytest.raises(ConfigError):
+            BurstyWorkload(0.0, 4)
+        with pytest.raises(ConfigError):
+            BurstyWorkload(10.0, 0)
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ConfigError):
+            HotspotWorkload(10.0, 0)
+        with pytest.raises(ConfigError):
+            HotspotWorkload(10.0, 2, hot_fraction=1.5)
+
+    def test_saturated_validation(self):
+        with pytest.raises(ConfigError):
+            SaturatedWorkload(think_time=-1.0)
+
+
+class TestFixedRate:
+    def test_mean_interval_roughly_respected(self):
+        _, requests = run_with(FixedRateWorkload(10.0), until=5000.0)
+        # ~500 arrivals expected; duplicates on already-waiting nodes are
+        # also counted by the spy, so the rate check is on attempts.
+        assert 350 < len(requests) < 700
+
+    def test_targets_spread_over_nodes(self):
+        _, requests = run_with(FixedRateWorkload(5.0), until=4000.0)
+        nodes = {node for _, node in requests}
+        assert len(nodes) >= 14  # nearly all of the 16
+
+
+class TestUniformInterval:
+    def test_exact_spacing(self):
+        _, requests = run_with(UniformIntervalWorkload(25.0), until=1000.0)
+        times = [t for t, _ in requests]
+        assert times == [25.0 * (i + 1) for i in range(len(times))]
+        assert len(times) >= 39
+
+
+class TestBursty:
+    def test_bursts_are_simultaneous_and_distinct(self):
+        _, requests = run_with(BurstyWorkload(burst_gap=200.0, burst_size=5),
+                               until=3000.0)
+        by_time = {}
+        for t, node in requests:
+            by_time.setdefault(t, []).append(node)
+        for t, nodes in by_time.items():
+            assert len(nodes) == 5
+            assert len(set(nodes)) == 5
+
+    def test_burst_size_capped_at_n(self):
+        _, requests = run_with(BurstyWorkload(burst_gap=500.0, burst_size=99),
+                               n=8, until=2000.0)
+        by_time = {}
+        for t, node in requests:
+            by_time.setdefault(t, []).append(node)
+        assert all(len(v) == 8 for v in by_time.values())
+
+
+class TestHotspot:
+    def test_hot_nodes_dominate(self):
+        _, requests = run_with(
+            HotspotWorkload(5.0, hot_nodes=2, hot_fraction=0.9),
+            until=5000.0)
+        hot = sum(1 for _, node in requests if node < 2)
+        assert hot / len(requests) > 0.75
+
+
+class TestSaturated:
+    def test_all_clients_request_immediately(self):
+        cluster, requests = run_with(SaturatedWorkload(), until=3.0)
+        nodes = {node for _, node in requests}
+        assert nodes == set(range(16))
+
+    def test_closed_loop_rerequests(self):
+        cluster, requests = run_with(SaturatedWorkload(think_time=5.0),
+                                     until=500.0)
+        # Every grant triggers a later re-request: far more than n attempts.
+        assert len(requests) > 32
+        assert cluster.responsiveness.grants() > 16
+
+    def test_subset_of_clients(self):
+        cluster, requests = run_with(SaturatedWorkload(clients=4),
+                                     until=100.0)
+        assert {node for _, node in requests} <= set(range(4))
+
+
+class TestSingleShot:
+    def test_exact_events(self):
+        events = [(10.0, 3), (20.0, 7)]
+        _, requests = run_with(SingleShotWorkload(events), until=100.0)
+        assert requests == [(10.0, 3), (20.0, 7)]
+
+    def test_events_sorted_on_construction(self):
+        w = SingleShotWorkload([(20.0, 7), (10.0, 3)])
+        assert w.events == [(10.0, 3), (20.0, 7)]
