@@ -8,6 +8,12 @@ roughly what factor, where the crossover falls.
 ``REPRO_BENCH_ROUNDS`` controls the token circulations per run.  The paper
 used 1000; the default here is 300, which reproduces every shape in a few
 minutes.  Set ``REPRO_BENCH_ROUNDS=1000`` for the full-fidelity runs.
+
+The transition sanitizer (``repro.lint.sanitizer``) is on by default in
+the sim layer, but benchmarks measure the *protocols*, not the checker —
+so the suite forces it off unless ``REPRO_BENCH_SANITIZE`` is set.  The
+dedicated overhead benchmark (``test_bench_sanitizer.py``) opts back in
+explicitly to quantify the cost of leaving it on.
 """
 
 import os
@@ -16,6 +22,24 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_sanitize() -> bool:
+    """Whether benchmarks should run under the transition sanitizer."""
+    return os.environ.get("REPRO_BENCH_SANITIZE", "").strip().lower() in (
+        "1", "on", "true", "yes")
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_sanitizer_default(monkeypatch):
+    """Pin the sanitizer off for benchmark runs unless explicitly opted in.
+
+    Clusters built with an explicit ``sanitize=`` argument (the overhead
+    benchmark) are unaffected — the env default only governs implicit
+    construction.
+    """
+    if not bench_sanitize():
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
 
 
 def bench_rounds(default: int = 300) -> int:

@@ -1,0 +1,57 @@
+"""Sanitizer overhead — what does leaving the transition sanitizer on cost?
+
+The sanitizer (``repro.lint.sanitizer.ClusterSanitizer``) runs an
+incremental single-token census plus per-core clock/grant checks after
+every applied transition.  This benchmark runs the same loaded
+binary-search cluster twice — sanitized and bare — and records the
+relative wall-clock overhead.  The design target is "cheap enough to
+leave on": the incremental census is O(1) per event, so the overhead
+should stay well under 2x even with ``every=1``.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core.cluster import Cluster
+from repro.workload.generators import FixedRateWorkload
+
+
+def _run_cluster(sanitize: bool) -> int:
+    cluster = Cluster.build("binary_search", n=32, seed=11, sanitize=sanitize)
+    cluster.add_workload(FixedRateWorkload(mean_interval=5.0))
+    cluster.run(rounds=30, max_events=1_000_000)
+    if sanitize:
+        assert cluster.sanitizer is not None
+        assert cluster.sanitizer.checked > 0
+    return cluster.messages.total
+
+
+def test_sanitizer_overhead(benchmark, results_dir):
+    """Sanitized vs bare run of the same simulation, overhead recorded."""
+    # The benchmarked (statistically sampled) path is the sanitized one —
+    # the configuration the test suite and `repro lint` actually run.
+    messages = benchmark(_run_cluster, True)
+    assert messages > 1000
+
+    # One-shot comparison runs for the recorded ratio.  pytest-benchmark
+    # only samples a single callable, so the bare side is timed manually;
+    # the ratio is indicative, the assertion bound deliberately loose.
+    start = time.perf_counter()
+    bare_messages = _run_cluster(False)
+    bare = time.perf_counter() - start
+    start = time.perf_counter()
+    _run_cluster(True)
+    sanitized = time.perf_counter() - start
+
+    assert bare_messages == messages  # the checker must not perturb the run
+    ratio = sanitized / bare if bare > 0 else float("inf")
+    emit(
+        results_dir, "sanitizer_overhead",
+        "Sanitizer overhead (binary_search, n=32, 30 rounds)\n"
+        f"  bare      : {bare * 1000:8.1f} ms\n"
+        f"  sanitized : {sanitized * 1000:8.1f} ms\n"
+        f"  overhead  : {ratio:8.2f}x",
+    )
+    # O(1)-per-event census: same-order cost, generous CI headroom.
+    assert ratio < 3.0, f"sanitizer overhead {ratio:.2f}x exceeds budget"

@@ -22,6 +22,7 @@ from repro.aio.transport import AioTransport
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigError, MembershipError
 from repro.faults.membership import MembershipService, RingView
+from repro.lint.sanitizer import ClusterSanitizer, sanitize_enabled
 
 __all__ = ["AioCluster"]
 
@@ -37,6 +38,7 @@ class AioCluster:
         config: Optional[ProtocolConfig] = None,
         delay: float = 0.001,
         loss_rate: float = 0.0,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if n < 1:
             raise ConfigError(f"n must be >= 1, got {n}")
@@ -56,6 +58,8 @@ class AioCluster:
         self.config.hold_until_release = True
         self.config.validate()
         self.transport = AioTransport(delay=delay, loss_rate=loss_rate, rng=self.rng)
+        enabled = sanitize_enabled() if sanitize is None else sanitize
+        self.sanitizer = ClusterSanitizer() if enabled else None
         self.membership = MembershipService(range(n))
         self.drivers: Dict[int, AioNodeDriver] = {}
         self._grant_waiters: Dict[int, List[asyncio.Future]] = {}
@@ -69,7 +73,7 @@ class AioCluster:
     def _make_driver(self, node_id: int) -> AioNodeDriver:
         core = self._factory(node_id, self.config)
         core.ring = self.membership.view
-        driver = AioNodeDriver(self.transport, core)
+        driver = AioNodeDriver(self.transport, core, sanitizer=self.sanitizer)
         driver.subscribe(self._on_app_event)
         self.drivers[node_id] = driver
         return driver
@@ -175,6 +179,8 @@ class AioCluster:
                 )
         self.membership.leave(node)
         await driver.stop()
+        if self.sanitizer is not None:
+            self.sanitizer.unregister(node)
         del self.drivers[node]
 
 

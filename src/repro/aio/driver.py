@@ -15,17 +15,31 @@ from repro.core.base import ProtocolCore
 from repro.core.effects import CancelTimer, Deliver, Effect, Send, SetTimer, Trace
 from repro.aio.transport import AioTransport
 from repro.errors import SimulationError
+from repro.lint.sanitizer import ClusterSanitizer
 
 __all__ = ["AioNodeDriver"]
 
 
 class AioNodeDriver:
-    """Runs one protocol core on the asyncio event loop."""
+    """Runs one protocol core on the asyncio event loop.
 
-    def __init__(self, transport: AioTransport, core: ProtocolCore) -> None:
+    An attached :class:`~repro.lint.sanitizer.ClusterSanitizer` (shared
+    across the cluster's drivers) audits cluster safety invariants after
+    every handled event; see ``REPRO_SANITIZE``.
+    """
+
+    def __init__(
+        self,
+        transport: AioTransport,
+        core: ProtocolCore,
+        sanitizer: Optional[ClusterSanitizer] = None,
+    ) -> None:
         self.transport = transport
         self.core = core
         self.node_id = core.node_id
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.register(core)
         self._inbox = transport.attach(self.node_id)
         self._timers: Dict[Hashable, asyncio.TimerHandle] = {}
         self._subscribers: List[Callable[[int, str, tuple, float], None]] = []
@@ -40,7 +54,7 @@ class AioNodeDriver:
     async def start(self) -> None:
         """Run the core's start handler and begin consuming the inbox."""
         self._loop = asyncio.get_running_loop()
-        self._apply(self.core.on_start(self._now()))
+        self._apply(self.core.on_start(self._now()), "on_start")
         self._task = asyncio.create_task(self._run(), name=f"node-{self.node_id}")
 
     async def stop(self) -> None:
@@ -59,11 +73,11 @@ class AioNodeDriver:
 
     def request(self) -> None:
         """The application at this node asks for the token."""
-        self._apply(self.core.on_request(self._now()))
+        self._apply(self.core.on_request(self._now()), "on_request")
 
     def release(self) -> None:
         """The application releases a held grant."""
-        self._apply(self.core.on_release(self._now()))
+        self._apply(self.core.on_release(self._now()), "on_release")
 
     # -- internals -----------------------------------------------------------
 
@@ -74,13 +88,15 @@ class AioNodeDriver:
     async def _run(self) -> None:
         while True:
             src, msg = await self._inbox.get()
-            self._apply(self.core.on_message(src, msg, self._now()))
+            self._apply(self.core.on_message(src, msg, self._now()), "on_message", msg)
 
     def _on_timer(self, key: Hashable) -> None:
         self._timers.pop(key, None)
-        self._apply(self.core.on_timer(key, self._now()))
+        self._apply(self.core.on_timer(key, self._now()), "on_timer", key)
 
-    def _apply(self, effects: List[Effect]) -> None:
+    def _apply(
+        self, effects: List[Effect], origin: str = "<direct>", payload: object = None
+    ) -> None:
         for effect in effects:
             if isinstance(effect, Send):
                 self.transport.send(self.node_id, effect.dst, effect.msg)
@@ -103,6 +119,8 @@ class AioNodeDriver:
                 pass
             else:
                 raise SimulationError(f"unknown effect {effect!r}")
+        if self.sanitizer is not None:
+            self.sanitizer.after_apply(self.core, origin, payload, self._now())
 
     def _timer_scale(self) -> float:
         """Core timers are expressed in message-delay units; scale them to

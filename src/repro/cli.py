@@ -9,6 +9,7 @@ Usage (also available as ``python -m repro``):
     python -m repro figure10 [--rounds 300]
     python -m repro ablations [--rounds 200]
     python -m repro refinement [-n 4 --steps 200]
+    python -m repro lint [--json --strict --max-states 300]
 
 Every command prints plain-text tables (see :mod:`repro.analysis.tables`)
 and returns a process exit code of 0 on success.
@@ -91,6 +92,23 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="output path (default report.md)")
     rep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     _add_common(rep)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze every registered TRS system (rule lint, "
+             "refinement narrowing, sanitized simulation)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable JSON report")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero on warnings, not only errors")
+    lint.add_argument("--max-states", type=int, default=300,
+                      help="states sampled per system (default 300)")
+    lint.add_argument("--skip-dynamic", action="store_true",
+                      help="skip the sanitized protocol simulations")
+    lint.add_argument("--system", action="append", default=None,
+                      metavar="NAME",
+                      help="lint only this system (repeatable; implies "
+                           "--skip-dynamic)")
     return parser
 
 
@@ -283,6 +301,31 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.registry import run_all, targets
+
+    if args.system:
+        known = [t.name for t in targets()]
+        unknown = [name for name in args.system if name not in known]
+        if unknown:
+            print(f"error: unknown system(s) {', '.join(unknown)}; "
+                  f"choose from: {', '.join(known)}", file=sys.stderr)
+            return 2
+
+    report = run_all(
+        max_states=args.max_states,
+        include_dynamic=not args.skip_dynamic,
+        only=args.system,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        for finding in report:
+            print(repr(finding))
+        print(report.summary_line())
+    return 0 if report.ok(strict=args.strict) else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
@@ -291,6 +334,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "refinement": _cmd_refinement,
     "report": _cmd_report,
+    "lint": _cmd_lint,
 }
 
 

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.base import ProtocolCore
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigError, SimulationError, TokenSafetyError
+from repro.lint.sanitizer import ClusterSanitizer, sanitize_enabled
 from repro.metrics.counters import MessageCounters
 from repro.metrics.fairness import FairnessAuditor
 from repro.metrics.responsiveness import ResponsivenessTracker
@@ -68,6 +69,7 @@ class Cluster:
         loss_rate: float = 0.0,
         dup_rate: float = 0.0,
         track_fairness: bool = False,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if n < 1:
             raise ConfigError(f"n must be >= 1, got {n}")
@@ -85,6 +87,10 @@ class Cluster:
         self.messages = MessageCounters()
         self.network.on_send.append(self.messages.on_send)
         self.fairness = FairnessAuditor() if track_fairness else None
+        # The transition sanitizer is on unless REPRO_SANITIZE disables it
+        # (or the caller pins `sanitize` explicitly).
+        enabled = sanitize_enabled() if sanitize is None else sanitize
+        self.sanitizer = ClusterSanitizer() if enabled else None
         self.drivers: Dict[int, NodeDriver] = {}
         self._waiting: Dict[int, int] = {}
         self._workloads: List = []
@@ -93,7 +99,8 @@ class Cluster:
         self._started = False
         for node_id in range(n):
             core = core_factory(node_id, self.config)
-            driver = NodeDriver(self.sim, self.network, core)
+            driver = NodeDriver(self.sim, self.network, core,
+                                sanitizer=self.sanitizer)
             driver.subscribe(self._on_app_event)
             self.drivers[node_id] = driver
 

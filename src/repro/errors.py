@@ -56,5 +56,13 @@ class ConfigError(ReproError):
     """Invalid protocol, workload, or experiment configuration."""
 
 
+class LintError(ReproError):
+    """The protocol static analyzer found a defect, or was misused.
+
+    The structured runtime-violation subclass (``LintViolation``, carrying
+    the offending rule, binding, and minimized state) lives in
+    :mod:`repro.lint.findings`."""
+
+
 class MembershipError(ReproError):
     """An invalid group-membership operation was attempted."""

@@ -1,0 +1,208 @@
+"""Data model of the protocol static analyzer.
+
+Three artifacts:
+
+- :class:`LintFinding` — one defect (or notable fact) found by a static
+  pass, identified by a stable code (``unbound-rhs-variable``,
+  ``shadowed-rule``, ``guard-widening``, …), a severity, the system and
+  rule it concerns, and free-form details.
+- :class:`LintReport` — an ordered collection of findings with JSON
+  serialization (the machine-readable output of ``repro lint``) and an
+  exit-code policy (errors fail, warnings/info do not).
+- :class:`LintViolation` — the structured exception the runtime sanitizer
+  raises: it names the invariant, the rule (or handler) whose transition
+  broke it, the binding (or payload) under which it fired, and a
+  *minimized* offending state for human consumption.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import LintError
+
+__all__ = ["Severity", "LintFinding", "LintReport", "LintViolation"]
+
+
+class Severity:
+    """Finding severities, ordered: info < warning < error."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    ORDER = (INFO, WARNING, ERROR)
+
+    @classmethod
+    def validate(cls, value: str) -> str:
+        if value not in cls.ORDER:
+            raise LintError(f"unknown severity {value!r}")
+        return value
+
+
+class LintFinding:
+    """One finding of a static pass."""
+
+    __slots__ = ("code", "severity", "system", "rule", "message", "details")
+
+    def __init__(
+        self,
+        code: str,
+        severity: str,
+        system: str,
+        rule: Optional[str],
+        message: str,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.code = code
+        self.severity = Severity.validate(severity)
+        self.system = system
+        self.rule = rule
+        self.message = message
+        self.details = dict(details or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view of the finding."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "system": self.system,
+            "rule": self.rule,
+            "message": self.message,
+            "details": {k: repr(v) if not _is_jsonable(v) else v
+                        for k, v in self.details.items()},
+        }
+
+    def __repr__(self) -> str:
+        rule = f" rule {self.rule!r}" if self.rule else ""
+        return (f"[{self.severity}] {self.code} ({self.system}{rule}): "
+                f"{self.message}")
+
+
+def _is_jsonable(value: Any) -> bool:
+    return isinstance(value, (str, int, float, bool, type(None), list, dict))
+
+
+class LintReport:
+    """All findings of one analyzer run, plus per-pass bookkeeping."""
+
+    def __init__(self) -> None:
+        self.findings: List[LintFinding] = []
+        self.passes: List[Dict[str, Any]] = []
+
+    def add(self, finding: LintFinding) -> None:
+        """Record one finding."""
+        self.findings.append(finding)
+
+    def extend(self, findings: List[LintFinding]) -> None:
+        """Record several findings."""
+        self.findings.extend(findings)
+
+    def record_pass(self, name: str, system: str, **stats: Any) -> None:
+        """Record that a pass ran (for the JSON report's audit trail)."""
+        entry: Dict[str, Any] = {"pass": name, "system": system}
+        entry.update(stats)
+        self.passes.append(entry)
+
+    def __iter__(self) -> Iterator[LintFinding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def by_severity(self, severity: str) -> List[LintFinding]:
+        """Findings at exactly the given severity."""
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[LintFinding]:
+        return self.by_severity(Severity.WARNING)
+
+    def ok(self, strict: bool = False) -> bool:
+        """True when the run should exit zero (no errors; with ``strict``
+        also no warnings)."""
+        if self.errors:
+            return False
+        if strict and self.warnings:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok(),
+            "summary": {
+                s: len(self.by_severity(s)) for s in Severity.ORDER
+            },
+            "passes": self.passes,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The machine-readable report emitted by ``repro lint --json``."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary_line(self) -> str:
+        counts = ", ".join(
+            f"{len(self.by_severity(s))} {s}" for s in reversed(Severity.ORDER)
+        )
+        return f"{len(self.findings)} finding(s): {counts}"
+
+
+class LintViolation(LintError):
+    """A runtime invariant violation caught by the transition sanitizer.
+
+    Structured fields:
+
+    - ``invariant`` — name of the violated invariant
+      (``prefix-property``, ``token-uniqueness``, ``history-monotonicity``,
+      ``single-token-census``, …);
+    - ``rule`` — the TRS rule name (or protocol-core handler) whose
+      transition produced the bad state;
+    - ``binding`` — the match binding (or handler payload) it fired under;
+    - ``state`` — the offending state as produced;
+    - ``minimized`` — a shrunk state that still violates the invariant
+      (bag elements greedily removed), for readable failure reports.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        rule: Optional[str] = None,
+        binding: Optional[Dict[str, Any]] = None,
+        state: Any = None,
+        minimized: Any = None,
+        detail: str = "",
+    ) -> None:
+        self.invariant = invariant
+        self.rule = rule
+        self.binding = dict(binding) if binding else {}
+        self.state = state
+        self.minimized = minimized if minimized is not None else state
+        self.detail = detail
+        parts = [f"invariant {invariant!r} violated"]
+        if rule is not None:
+            parts.append(f"by rule {rule!r}")
+        if self.binding:
+            shown = ", ".join(f"{k}={v!r}" for k, v in sorted(self.binding.items()))
+            parts.append(f"under binding {{{shown}}}")
+        if detail:
+            parts.append(f"({detail})")
+        if self.minimized is not None:
+            parts.append(f"; minimized state: {self.minimized!r}")
+        super().__init__(" ".join(parts))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view (repr-ing term-valued fields)."""
+        return {
+            "invariant": self.invariant,
+            "rule": self.rule,
+            "binding": {k: repr(v) for k, v in self.binding.items()},
+            "state": repr(self.state),
+            "minimized": repr(self.minimized),
+            "detail": self.detail,
+        }

@@ -1,0 +1,232 @@
+"""Static verification of the refinement chain's guard-narrowing discipline.
+
+The paper's Section 4 refines systems exclusively by *constraining* when
+rules apply ("these conditions always involve only the local state"), so
+each refinement is safety-preserving by construction — provided the
+"refinement" really only narrows.  This module checks that mechanically,
+in two modes:
+
+- :func:`check_restriction` — for same-state-space refinements (a
+  restricted rule set against its unrestricted parent): every rule of the
+  refined system maps to a parent rule whose applicability set *contains*
+  it.  Symbolic containment of opaque guards is infeasible, so the check
+  is a sampled-state differential: on every sampled reachable state, the
+  refined rule's successor set must be a subset of its parent's.  The
+  verdict classifies each rule as ``narrowed`` (strictly fewer successors
+  somewhere), ``unchanged``, or ``added`` (present only in the refinement,
+  legal only with a justification — it must stutter under the refinement
+  mapping); parent rules left unmapped are reported ``dropped``.
+- :func:`check_simulation` — for cross-system refinements (BinarySearch →
+  S1 etc.): on every sampled state, every enabled transition's image under
+  the refinement mapping must be reachable in the coarse system within
+  ``max_depth`` steps (0 steps = stuttering).  This is the per-state
+  generalization of :func:`repro.specs.refinement.check_refinement`,
+  which verifies single reductions.
+
+A widened guard — a "refinement" admitting a transition its parent forbids
+— surfaces as a ``guard-widening`` error naming the rule, the state, and
+the unsanctioned successor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import LintFinding, Severity
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext, RuleSet
+from repro.trs.terms import Term
+
+__all__ = ["ADDED", "check_restriction", "check_simulation", "rule_successors"]
+
+#: Sentinel for rule_map entries: the rule exists only in the refinement.
+ADDED = "<added>"
+
+#: Cap on enabled instantiations expanded per (rule, state) during the
+#: differential check.
+MAX_EXPANSIONS = 128
+
+
+def rule_successors(rule: Rule, state: Term, cap: int = MAX_EXPANSIONS) -> Set[Term]:
+    """Every state reachable from ``state`` by one application of ``rule``.
+
+    Fresh contexts per call keep probing effect-free; the spec systems
+    derive fresh data deterministically from the state, so successor terms
+    compare exactly across rule variants.
+    """
+    out: Set[Term] = set()
+    count = 0
+    for binding in rule.instantiations(state, RuleContext()):
+        if count >= cap:
+            break
+        count += 1
+        result = rule.apply(state, binding, RuleContext())
+        if result is not None:
+            out.add(result)
+    return out
+
+
+def check_restriction(
+    system: str,
+    fine: Sequence[Rule],
+    coarse: RuleSet,
+    states: Iterable[Term],
+    rule_map: Optional[Dict[str, str]] = None,
+    mapping: Optional[Callable[[Term], Term]] = None,
+    max_error_reports: int = 5,
+) -> Tuple[List[LintFinding], Dict[str, str]]:
+    """Differentially verify that ``fine`` only narrows ``coarse``.
+
+    ``rule_map`` maps fine rule names to their parent's (default:
+    same name; the primed convention ``3' -> 3`` / ``4' -> 4`` is applied
+    automatically), or to :data:`ADDED` for rules the refinement
+    introduces.  Added rules need ``mapping`` (the refinement mapping) and
+    must stutter under it.  Returns ``(findings, classification)`` where
+    ``classification[rule] in {"narrowed", "unchanged", "added",
+    "dropped"}`` (dropped entries are keyed by the parent rule's name).
+    """
+    fine_rules = list(fine)
+    resolved: Dict[str, str] = {}
+    for rule in fine_rules:
+        if rule_map and rule.name in rule_map:
+            resolved[rule.name] = rule_map[rule.name]
+        elif rule.name in coarse:
+            resolved[rule.name] = rule.name
+        elif rule.name.endswith("'") and rule.name[:-1] in coarse:
+            resolved[rule.name] = rule.name[:-1]
+        else:
+            resolved[rule.name] = ADDED
+
+    findings: List[LintFinding] = []
+    narrowed: Set[str] = set()
+    errors = 0
+    state_list = list(states)
+
+    for rule in fine_rules:
+        parent_name = resolved[rule.name]
+        if parent_name is ADDED or parent_name == ADDED:
+            findings.extend(_check_added_rule(
+                system, rule, state_list, mapping, max_error_reports))
+            continue
+        parent = coarse[parent_name]
+        for state in state_list:
+            fine_succ = rule_successors(rule, state)
+            parent_succ = rule_successors(parent, state)
+            widened = fine_succ - parent_succ
+            if widened:
+                errors += 1
+                if errors <= max_error_reports:
+                    sample = next(iter(widened))
+                    findings.append(LintFinding(
+                        "guard-widening", Severity.ERROR, system, rule.name,
+                        f"rule {rule.name!r} admits a transition its parent "
+                        f"rule {parent_name!r} forbids — the refinement "
+                        "widens instead of narrowing, so it is not "
+                        "safety-preserving",
+                        {"parent": parent_name, "state": repr(state),
+                         "unsanctioned_successor": repr(sample),
+                         "extra_successors": len(widened)},
+                    ))
+            elif len(fine_succ) < len(parent_succ):
+                narrowed.add(rule.name)
+
+    classification: Dict[str, str] = {}
+    for rule in fine_rules:
+        parent_name = resolved[rule.name]
+        if parent_name == ADDED:
+            classification[rule.name] = "added"
+        elif rule.name in narrowed:
+            classification[rule.name] = "narrowed"
+        else:
+            classification[rule.name] = "unchanged"
+    mapped_parents = {p for p in resolved.values() if p != ADDED}
+    for parent in coarse.names():
+        if parent not in mapped_parents:
+            classification[parent] = "dropped"
+            findings.append(LintFinding(
+                "dropped-rule", Severity.INFO, system, parent,
+                f"parent rule {parent!r} has no counterpart in the refined "
+                "system (disabling a rule is always safety-preserving)",
+            ))
+    return findings, classification
+
+
+def _check_added_rule(
+    system: str,
+    rule: Rule,
+    states: List[Term],
+    mapping: Optional[Callable[[Term], Term]],
+    max_error_reports: int,
+) -> List[LintFinding]:
+    """An added rule is justified only when it stutters under the
+    refinement mapping — its transitions must be invisible to the parent."""
+    if mapping is None:
+        return [LintFinding(
+            "added-rule-unjustified", Severity.ERROR, system, rule.name,
+            f"rule {rule.name!r} exists only in the refined system and no "
+            "refinement mapping was supplied to justify it",
+        )]
+    findings: List[LintFinding] = []
+    errors = 0
+    for state in states:
+        image = mapping(state)
+        for succ in rule_successors(rule, state):
+            if mapping(succ) != image:
+                errors += 1
+                if errors <= max_error_reports:
+                    findings.append(LintFinding(
+                        "added-rule-not-stuttering", Severity.ERROR, system,
+                        rule.name,
+                        f"added rule {rule.name!r} changes the refinement "
+                        "image — it is observable in the parent system and "
+                        "needs a simulation argument, not a stutter "
+                        "justification",
+                        {"state": repr(state), "successor": repr(succ)},
+                    ))
+    return findings
+
+
+def check_simulation(
+    system: str,
+    fine: Rewriter,
+    states: Iterable[Term],
+    mapping: Callable[[Term], Term],
+    coarse: Rewriter,
+    max_depth: int = 2,
+    max_error_reports: int = 5,
+) -> Tuple[List[LintFinding], Dict[str, str]]:
+    """Sampled-state simulation check of a cross-system refinement.
+
+    For every sampled state and every enabled transition, the mapped step
+    must be a ≤ ``max_depth``-step path of the coarse system (stuttering
+    allowed).  Returns ``(findings, classification)`` with each fine rule
+    classified ``stuttering``, ``simulated``, or (on failure)
+    ``unsimulated``.
+    """
+    findings: List[LintFinding] = []
+    classification: Dict[str, str] = {}
+    errors = 0
+    for state in states:
+        image_pre = mapping(state)
+        for rule_name, succ in fine.successors(state):
+            image_post = mapping(succ)
+            if image_pre == image_post:
+                classification.setdefault(rule_name, "stuttering")
+                continue
+            if coarse.can_reach(image_pre, image_post, max_depth):
+                classification[rule_name] = "simulated"
+                continue
+            classification[rule_name] = "unsimulated"
+            errors += 1
+            if errors <= max_error_reports:
+                findings.append(LintFinding(
+                    "refinement-unsimulated", Severity.ERROR, system,
+                    rule_name,
+                    f"a {rule_name!r} transition maps outside the coarse "
+                    f"system's {max_depth}-step reach — the refinement "
+                    "argument does not cover it",
+                    {"state": repr(state), "successor": repr(succ),
+                     "image_pre": repr(image_pre),
+                     "image_post": repr(image_post)},
+                ))
+    return findings, classification

@@ -8,11 +8,12 @@ subscriber callbacks — the cluster uses these for metrics.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List
+from typing import Callable, Dict, Hashable, List, Optional
 
 from repro.core.base import ProtocolCore
 from repro.core.effects import CancelTimer, Deliver, Effect, Send, SetTimer, Trace
 from repro.errors import SimulationError
+from repro.lint.sanitizer import ClusterSanitizer
 from repro.sim.kernel import Event, Simulator
 from repro.sim.network import Network
 
@@ -20,17 +21,32 @@ __all__ = ["NodeDriver"]
 
 
 class NodeDriver:
-    """Runs one protocol core inside the discrete-event simulation."""
+    """Runs one protocol core inside the discrete-event simulation.
 
-    def __init__(self, sim: Simulator, network: Network, core: ProtocolCore) -> None:
+    When a :class:`~repro.lint.sanitizer.ClusterSanitizer` is attached
+    (the cluster wires one by default, see ``REPRO_SANITIZE``), the driver
+    reports every handled event to it so cluster-level safety invariants
+    are audited as the simulation runs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        core: ProtocolCore,
+        sanitizer: Optional[ClusterSanitizer] = None,
+    ) -> None:
         self.sim = sim
         self.network = network
         self.core = core
         self.node_id = core.node_id
+        self.sanitizer = sanitizer
         self._timers: Dict[Hashable, Event] = {}
         self._subscribers: List[Callable[[int, str, tuple, float], None]] = []
         self._crashed = False
         network.attach(self.node_id, self._on_network_message)
+        if sanitizer is not None:
+            sanitizer.register(core)
 
     # -- wiring ---------------------------------------------------------------
 
@@ -41,7 +57,7 @@ class NodeDriver:
 
     def start(self) -> None:
         """Run the core's start handler (call once, after wiring)."""
-        self._apply(self.core.on_start(self.sim.now))
+        self._apply(self.core.on_start(self.sim.now), "on_start")
 
     # -- application entry points ------------------------------------------------
 
@@ -49,13 +65,13 @@ class NodeDriver:
         """The application at this node asks for the token."""
         if self._crashed:
             return
-        self._apply(self.core.on_request(self.sim.now))
+        self._apply(self.core.on_request(self.sim.now), "on_request")
 
     def release(self) -> None:
         """The application releases a held grant."""
         if self._crashed:
             return
-        self._apply(self.core.on_release(self.sim.now))
+        self._apply(self.core.on_release(self.sim.now), "on_release")
 
     # -- failure injection ---------------------------------------------------------
 
@@ -63,6 +79,8 @@ class NodeDriver:
         """Crash-stop this node: cancel timers, drop future deliveries."""
         self._crashed = True
         self.network.crash(self.node_id)
+        if self.sanitizer is not None:
+            self.sanitizer.mark_crashed(self.node_id)
         for event in self._timers.values():
             event.cancel()
         self._timers.clear()
@@ -72,6 +90,8 @@ class NodeDriver:
         the caller replaces it)."""
         self._crashed = False
         self.network.recover(self.node_id)
+        if self.sanitizer is not None:
+            self.sanitizer.mark_recovered(self.node_id)
 
     @property
     def crashed(self) -> bool:
@@ -83,15 +103,17 @@ class NodeDriver:
     def _on_network_message(self, src: int, msg: object) -> None:
         if self._crashed:
             return
-        self._apply(self.core.on_message(src, msg, self.sim.now))
+        self._apply(self.core.on_message(src, msg, self.sim.now), "on_message", msg)
 
     def _on_timer(self, key: Hashable) -> None:
         if self._crashed:
             return
         self._timers.pop(key, None)
-        self._apply(self.core.on_timer(key, self.sim.now))
+        self._apply(self.core.on_timer(key, self.sim.now), "on_timer", key)
 
-    def _apply(self, effects: List[Effect]) -> None:
+    def _apply(
+        self, effects: List[Effect], origin: str = "<direct>", payload: object = None
+    ) -> None:
         for effect in effects:
             if isinstance(effect, Send):
                 self.network.send(self.node_id, effect.dst, effect.msg)
@@ -113,3 +135,5 @@ class NodeDriver:
                 pass  # tracing is a no-op in the DES driver
             else:
                 raise SimulationError(f"unknown effect {effect!r}")
+        if self.sanitizer is not None:
+            self.sanitizer.after_apply(self.core, origin, payload, self.sim.now)

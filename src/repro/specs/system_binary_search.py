@@ -131,7 +131,7 @@ def rule_3() -> Rule:
         Var("Q"),
         Bag([_p(Var("x"), Wildcard())], rest=Var("P")),
         BOT,
-        Bag([_in(Var("x"), Var("y"), _token(Var("H")))], rest=Var("I")),
+        Bag([_in(Var("x"), Wildcard(), _token(Var("H")))], rest=Var("I")),
         Var("O"), Var("W"),
     )
     rhs = _state(
@@ -209,14 +209,21 @@ def rule_5(n: int, restricted: bool) -> Rule:
 def rule_6(n: int):
     """Rule 6 (+ absorbing 6a): trap locally, halve the span, and forward
     in the direction determined by the ``⊂_C`` history comparison."""
-    lhs = _state(
-        Var("Q"),
-        Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
-        Var("T"),
-        Bag([_in(Var("x"), Var("y"), _gimme(Var("s"), Var("Hz"), Var("z")))],
-            rest=Var("I")),
-        Var("O"), Var("W"),
-    )
+    def gimme_lhs(span, hz):
+        return _state(
+            Var("Q"),
+            Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
+            Var("T"),
+            Bag([_in(Var("x"), Wildcard(), _gimme(span, hz, Var("z")))],
+                rest=Var("I")),
+            Var("O"), Var("W"),
+        )
+
+    # Forwarding compares histories; the absorbing variants don't, so they
+    # bind only what their guards read.
+    lhs = gimme_lhs(Var("s"), Var("Hz"))
+    absorb_lhs = gimme_lhs(Var("s"), Wildcard())
+    self_lhs = gimme_lhs(Wildcard(), Wildcard())
 
     def fwd_guard(binding, ctx):
         return binding["s"].value // 2 >= 1 and binding["x"] != binding["z"]
@@ -259,7 +266,7 @@ def rule_6(n: int):
         Var("T"), Var("I"), Var("O"),
         Bag([_trap(Var("x"), Var("z"))], rest=Var("W")),
     )
-    absorb = Rule("6a", lhs, absorb_rhs, guard=absorb_guard)
+    absorb = Rule("6a", absorb_lhs, absorb_rhs, guard=absorb_guard)
 
     def self_guard(binding, ctx):
         return binding["x"] == binding["z"]
@@ -269,7 +276,7 @@ def rule_6(n: int):
         Bag([_p(Var("x"), Var("H"))], rest=Var("P")),
         Var("T"), Var("I"), Var("O"), Var("W"),
     )
-    self_absorb = Rule("6s", lhs, self_rhs, guard=self_guard)
+    self_absorb = Rule("6s", self_lhs, self_rhs, guard=self_guard)
     return forward, absorb, self_absorb
 
 

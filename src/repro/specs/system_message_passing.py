@@ -142,7 +142,7 @@ def rule_4() -> Rule:
         Var("Q"),
         Bag([_p(Var("x"), Wildcard())], rest=Var("P")),
         BOT,
-        Bag([_in(Var("x"), Var("y"), _token(Var("H")))], rest=Var("I")),
+        Bag([_in(Var("x"), Wildcard(), _token(Var("H")))], rest=Var("I")),
         Var("O"),
     )
     rhs = _state(

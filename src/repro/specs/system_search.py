@@ -118,7 +118,7 @@ def rule_3() -> Rule:
         Var("Q"),
         Bag([_p(Var("x"), Wildcard())], rest=Var("P")),
         BOT,
-        Bag([_in(Var("x"), Var("y"), _token(Var("H")))], rest=Var("I")),
+        Bag([_in(Var("x"), Wildcard(), _token(Var("H")))], rest=Var("I")),
         Var("O"), Var("W"),
     )
     rhs = _state(
@@ -218,7 +218,7 @@ def rule_6(n: int, restricted: bool) -> Rule:
 
     lhs = _state(
         Var("Q"), Var("P"), Var("T"),
-        Bag([_in(Var("x"), Var("y"), _ask(Var("z")))], rest=Var("I")),
+        Bag([_in(Var("x"), Wildcard(), _ask(Var("z")))], rest=Var("I")),
         Var("O"), Var("W"),
     )
     rhs = _state(

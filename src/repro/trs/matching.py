@@ -19,7 +19,16 @@ from typing import Dict, Iterator, Optional
 from repro.errors import MatchError, TermError
 from repro.trs.terms import Atom, Bag, Seq, Struct, Term, Var, Wildcard
 
-__all__ = ["Binding", "match", "match_first", "match_all", "substitute"]
+__all__ = [
+    "Binding",
+    "match",
+    "match_first",
+    "match_all",
+    "substitute",
+    "patterns_overlap",
+    "pattern_subsumes",
+    "skolemize",
+]
 
 Binding = Dict[str, Term]
 
@@ -148,6 +157,144 @@ def match_all(pattern: Term, term: Term) -> list:
         if b not in out:
             out.append(b)
     return out
+
+
+# ---------------------------------------------------------------------------
+# Pattern/pattern comparison (used by the static linter, repro.lint)
+# ---------------------------------------------------------------------------
+#
+# The rule sets in this repository match at the root of the state term, so
+# deciding whether two rule LHS patterns can fire on a common state — or
+# whether one pattern *subsumes* another — is a comparison between two
+# patterns, not a pattern and a ground term.  Full AC-unification is
+# undecidable in general settings and overkill here; the functions below
+# implement the sound approximations the linter needs for the term shapes
+# the specs actually use (single-level bag rest variables, struct items).
+
+
+class _SkolemCounter:
+    """Fresh-name source for skolemization."""
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def fresh(self) -> int:
+        self.n += 1
+        return self.n
+
+
+def skolemize(pattern: Term, prefix: str = "$sk", _counter: Optional[_SkolemCounter] = None) -> Term:
+    """Replace every variable/wildcard in ``pattern`` with a distinct atom.
+
+    The result is a ground term that is a *most general instance* of the
+    pattern: any pattern matching the skolemized term matches every
+    instance of the original (for the linear, struct-shaped patterns used
+    by the spec systems).  A bag rest variable is skolemized as one extra
+    distinguished element, which keeps the bag shape while marking "some
+    unknown remainder".
+    """
+    counter = _counter or _SkolemCounter()
+    if isinstance(pattern, Atom):
+        return pattern
+    if isinstance(pattern, Var):
+        return Atom((prefix, pattern.name))
+    if isinstance(pattern, Wildcard):
+        return Atom((prefix, "_", counter.fresh()))
+    if isinstance(pattern, Struct):
+        return Struct(
+            pattern.functor,
+            tuple(skolemize(a, prefix, counter) for a in pattern.args),
+        )
+    if isinstance(pattern, Seq):
+        return Seq(tuple(skolemize(a, prefix, counter) for a in pattern.items))
+    if isinstance(pattern, Bag):
+        items = [skolemize(a, prefix, counter) for a in pattern.items]
+        if pattern.rest is not None:
+            items.append(Atom((prefix, "rest", pattern.rest.name)))
+        return Bag(items)
+    raise TermError(f"unknown pattern type: {pattern!r}")
+
+
+def pattern_subsumes(general: Term, specific: Term) -> bool:
+    """True when every instance of ``specific`` is an instance of ``general``.
+
+    Decided by matching ``general`` against a skolemized copy of
+    ``specific``: the skolem atoms are fresh constants no pattern mentions,
+    so ``general`` can absorb them only through its own variables,
+    wildcards, or bag rest — exactly the subsumption condition.  A bag rest
+    variable in ``specific`` becomes a single skolem element; ``general``
+    can then only absorb it with a rest variable of its own (an item
+    variable would fix the remainder's size, which subsumption forbids) —
+    but a lone ``Var`` item in ``general`` against the skolem-rest element
+    over-approximates, so results are exact for the repo's rule shapes
+    (bag items are structs) and conservative-permissive otherwise.
+    """
+    ground = skolemize(specific)
+    for _ in match(general, ground):
+        return True
+    return False
+
+
+def patterns_overlap(a: Term, b: Term) -> bool:
+    """True when some ground term can match both patterns (LHS overlap).
+
+    Implemented as a simultaneous structural walk — a unification that
+    treats the two patterns' variables as disjoint and answers only the
+    yes/no question.  Variables and wildcards overlap with anything (the
+    patterns in this repository are linear apart from repeated state
+    variables, and a repeated variable can always be instantiated
+    consistently when each occurrence overlaps); bags overlap when the
+    fixed items can be injectively paired up and any excess on either side
+    is absorbed by the other's rest variable.
+    """
+    if isinstance(a, (Var, Wildcard)) or isinstance(b, (Var, Wildcard)):
+        return True
+    if isinstance(a, Atom) or isinstance(b, Atom):
+        return isinstance(a, Atom) and isinstance(b, Atom) and a.value == b.value
+    if isinstance(a, Struct) or isinstance(b, Struct):
+        return (
+            isinstance(a, Struct)
+            and isinstance(b, Struct)
+            and a.functor == b.functor
+            and len(a.args) == len(b.args)
+            and all(patterns_overlap(x, y) for x, y in zip(a.args, b.args))
+        )
+    if isinstance(a, Seq) or isinstance(b, Seq):
+        return (
+            isinstance(a, Seq)
+            and isinstance(b, Seq)
+            and len(a.items) == len(b.items)
+            and all(patterns_overlap(x, y) for x, y in zip(a.items, b.items))
+        )
+    if isinstance(a, Bag) and isinstance(b, Bag):
+        return _bags_overlap(a, b)
+    raise TermError(f"unknown pattern type: {a!r} / {b!r}")
+
+
+def _bags_overlap(a: Bag, b: Bag) -> bool:
+    """Backtracking search for an injective pairing of fixed bag items."""
+    if a.rest is None and b.rest is None and len(a.items) != len(b.items):
+        return False
+    if a.rest is None and len(b.items) > len(a.items):
+        return False
+    if b.rest is None and len(a.items) > len(b.items):
+        return False
+
+    def assign(i: int, available: list) -> bool:
+        if i == len(a.items):
+            # Leftover b-items must be absorbable by a's rest variable.
+            return a.rest is not None or not available
+        item = a.items[i]
+        for pos, j in enumerate(available):
+            if patterns_overlap(item, b.items[j]):
+                if assign(i + 1, available[:pos] + available[pos + 1 :]):
+                    return True
+        # Or this a-item is absorbed by b's rest variable.
+        if b.rest is not None and assign(i + 1, available):
+            return True
+        return False
+
+    return assign(0, list(range(len(b.items))))
 
 
 def substitute(term: Term, binding: Binding) -> Term:

@@ -140,6 +140,45 @@ class Rule:
             )
         return result
 
+    # -- introspection (used by repro.lint) ---------------------------------
+
+    @property
+    def lhs_variables(self) -> frozenset:
+        """Names of the variables bound by matching the LHS."""
+        return variables_of(self.lhs)
+
+    @property
+    def rhs_variables(self) -> frozenset:
+        """Names of the variables the RHS substitutes."""
+        return variables_of(self.rhs)
+
+    @property
+    def rhs_free_variables(self) -> frozenset:
+        """RHS variables the LHS does not bind (must come from the
+        where-clause or a choice point)."""
+        return frozenset(self._rhs_free)
+
+    def overlaps(self, other: "Rule") -> bool:
+        """True when some state enables both rules' LHS patterns
+        (guards/where-clauses aside)."""
+        from repro.trs.matching import patterns_overlap
+
+        return patterns_overlap(self.lhs, other.lhs)
+
+    def subsumes(self, other: "Rule") -> bool:
+        """True when every state matching ``other``'s LHS also matches this
+        rule's LHS (guards/where-clauses aside)."""
+        from repro.trs.matching import pattern_subsumes
+
+        return pattern_subsumes(self.lhs, other.lhs)
+
+    @property
+    def is_unconditional(self) -> bool:
+        """True when the rule fires on every LHS match: no guard, no
+        where-clause (a where may veto), no choice point (choices may be
+        empty)."""
+        return self.guard is None and self.where is None and self.choices is None
+
     def restricted(
         self,
         name: Optional[str] = None,

@@ -1,0 +1,119 @@
+"""Refinement checker: honest narrowings pass, seeded widenings fail."""
+
+from repro.lint.refinement import check_restriction, check_simulation
+from repro.lint.rules import sample_states
+from repro.specs import system_s, system_s1, system_search, system_token
+from repro.specs.modelcheck import bound_data, bound_requests
+from repro.specs.refinement import s1_to_s, search_to_s1
+from repro.trs.engine import Rewriter
+from repro.trs.rules import Rule, RuleContext
+
+
+def token_states(ring, max_states=80):
+    rules = bound_data(system_token.make_rules(3, ring=ring), 1)
+    return sample_states(rules, system_token.initial_state(3),
+                         max_states=max_states)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRestriction:
+    def test_honest_narrowing_passes(self):
+        # Ring token-passing restricts the free pass: no errors, rule 2
+        # classified as narrowed.
+        fine = system_token.make_rules(3, ring=True)
+        coarse = system_token.make_rules(3, ring=False)
+        findings, classification = check_restriction(
+            "Token", list(fine), coarse, token_states(ring=True))
+        assert findings == []
+        assert classification["2"] == "narrowed"
+        assert classification["1"] == "unchanged"
+
+    def test_guard_widening_is_flagged(self):
+        # Seeded defect: present the *free* system as a "refinement" of the
+        # ring system.  The free pass admits token transfers the ring
+        # forbids — the exact inversion the checker must reject.
+        fine = system_token.make_rules(3, ring=False)
+        coarse = system_token.make_rules(3, ring=True)
+        findings, _ = check_restriction(
+            "TokenWiden", list(fine), coarse, token_states(ring=False))
+        assert "guard-widening" in codes(findings)
+        finding = next(f for f in findings if f.code == "guard-widening")
+        assert finding.rule == "2"
+        assert finding.severity == "error"
+        assert "unsanctioned_successor" in finding.details
+
+    def test_added_rule_needs_a_mapping(self):
+        # Search's restricted 6a exists only in the refinement; without a
+        # refinement mapping it cannot be justified.
+        fine = system_search.make_rules(3, restricted=True)
+        coarse = system_search.make_rules(3, restricted=False)
+        findings, classification = check_restriction(
+            "Search", list(fine), coarse, [])
+        assert classification["6a"] == "added"
+        assert "added-rule-unjustified" in codes(findings)
+
+    def test_added_rule_justified_by_stuttering(self):
+        fine = system_search.make_rules(3, restricted=True)
+        coarse = system_search.make_rules(3, restricted=False)
+        rules = bound_requests(
+            bound_data(fine, 1, nodes=(1,)), "5")
+        states = sample_states(rules, system_search.initial_state(3),
+                               max_states=150)
+        findings, classification = check_restriction(
+            "Search", list(fine), coarse, states, mapping=search_to_s1)
+        assert findings == []
+        assert classification["6a"] == "added"
+
+    def test_dropped_parent_rule_is_informational(self):
+        coarse = system_token.make_rules(3, ring=False)
+        fine = [coarse["1"]]  # refinement disables rule 2 entirely
+        findings, classification = check_restriction(
+            "TokenDrop", fine, coarse, token_states(ring=False, max_states=20))
+        assert classification["2"] == "dropped"
+        assert codes(findings) == ["dropped-rule"]
+        assert findings[0].severity == "info"
+
+    def test_primed_rule_names_resolve_to_parents(self):
+        fine = system_token.make_rules(3, ring=True)
+        renamed = [Rule(rule.name + "'", rule.lhs, rule.rhs,
+                        guard=rule.guard, where=rule.where,
+                        choices=rule.choices)
+                   for rule in fine]
+        coarse = system_token.make_rules(3, ring=False)
+        findings, classification = check_restriction(
+            "TokenPrimed", renamed, coarse, token_states(ring=True,
+                                                         max_states=40))
+        assert findings == []
+        assert classification["2'"] == "narrowed"
+
+
+class TestSimulation:
+    def test_s1_refines_s(self):
+        fine = Rewriter(bound_data(system_s1.make_rules(), 2), RuleContext())
+        states = sample_states(bound_data(system_s1.make_rules(), 2),
+                               system_s1.initial_state(2), max_states=60)
+        coarse = Rewriter(system_s.make_rules(), RuleContext())
+        findings, classification = check_simulation(
+            "S1", fine, states, s1_to_s, coarse, max_depth=1)
+        assert findings == []
+        assert classification["2"] == "simulated"
+        assert classification["3"] == "stuttering"
+
+    def test_wrong_mapping_is_flagged(self):
+        # Seeded defect: the identity "mapping" sends S1 states into the S
+        # system verbatim; S's rules can't rewrite S1's state functor, so
+        # every visible step is unsimulated.
+        fine = Rewriter(bound_data(system_s1.make_rules(), 2), RuleContext())
+        states = sample_states(bound_data(system_s1.make_rules(), 2),
+                               system_s1.initial_state(2), max_states=30)
+        coarse = Rewriter(system_s.make_rules(), RuleContext())
+        findings, classification = check_simulation(
+            "S1", fine, states, lambda s: s, coarse, max_depth=1)
+        assert "refinement-unsimulated" in codes(findings)
+        assert "unsimulated" in classification.values()
+        finding = findings[0]
+        assert finding.severity == "error"
+        assert "image_post" in finding.details

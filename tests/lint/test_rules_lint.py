@@ -1,0 +1,146 @@
+"""Static rule lint: seeded defects are found, honest rule sets pass."""
+
+import pytest
+
+from repro.lint.findings import LintReport
+from repro.lint.registry import run_static
+from repro.lint.rules import lint_rules, overlap_pairs, sample_states
+from repro.specs import system_message_passing as mp
+from repro.specs.modelcheck import bound_data
+from repro.trs.rules import Rule
+from repro.trs.terms import Atom, Bag, Struct, Var, Wildcard
+
+
+def st(*items, rest=None):
+    return Struct("st", (Bag(list(items), rest=rest),))
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestSeededDefects:
+    def test_unbound_rhs_variable_via_empty_where(self):
+        # The Rule constructor only rejects free RHS variables when there
+        # is no where-clause at all; a where that *fails to bind* is the
+        # hole the sampled probe closes.
+        rule = Rule(
+            "bad",
+            st(Var("x"), rest=Var("R")),
+            Struct("st", (Bag([Var("missing")], rest=Var("R")),)),
+            where=lambda binding, ctx: {},
+        )
+        findings = lint_rules("toy", [rule], [st(Atom(1), Atom(2))])
+        assert "unbound-rhs-variable" in codes(findings)
+        finding = next(f for f in findings if f.code == "unbound-rhs-variable")
+        assert finding.rule == "bad"
+        assert "binding" in finding.details
+
+    def test_shadowed_rule_behind_unconditional_duplicate(self):
+        # MP rule 2 (transmit) is unconditional; a copy appended after it
+        # can never fire under the first-applicable strategy.
+        transmit = mp.rule_2()
+        dup = Rule("2-again", transmit.lhs, transmit.rhs)
+        findings = lint_rules("MP", [transmit, dup])
+        assert "shadowed-rule" in codes(findings)
+        finding = next(f for f in findings if f.code == "shadowed-rule")
+        assert finding.rule == "2-again"
+        assert finding.details["shadowed_by"] == "2"
+
+    def test_conditional_rules_do_not_shadow(self):
+        guarded = Rule(
+            "g", st(Var("x"), rest=Var("R")), st(Var("x"), rest=Var("R")),
+            guard=lambda binding, ctx: False,
+        )
+        later = Rule("h", st(Var("x"), rest=Var("R")),
+                     st(Var("x"), rest=Var("R")))
+        findings = lint_rules("toy", [guarded, later])
+        assert "shadowed-rule" not in codes(findings)
+
+    def test_duplicate_rule_names(self):
+        a = Rule("same", st(Var("x"), rest=Var("R")), st(rest=Var("R")))
+        b = Rule("same", st(rest=Var("R")), st(Atom(9), rest=Var("R")))
+        findings = lint_rules("toy", [a, b])
+        assert "duplicate-rule-name" in codes(findings)
+
+    def test_never_enabled_guard(self):
+        rule = Rule(
+            "stuck", st(Var("x"), rest=Var("R")), st(Var("x"), rest=Var("R")),
+            guard=lambda binding, ctx: False,
+        )
+        findings = lint_rules("toy", [rule], [st(Atom(1))])
+        assert "never-enabled" in codes(findings)
+
+    def test_unused_lhs_binding(self):
+        rule = Rule(
+            "deaf",
+            Struct("st", (Bag([Struct("pair", (Var("x"), Var("y")))],
+                              rest=Var("R")),)),
+            Struct("st", (Bag([Var("x")], rest=Var("R")),)),
+        )
+        state = st(Struct("pair", (Atom(1), Atom(2))))
+        findings = lint_rules("toy", [rule], [state])
+        finding = next(f for f in findings if f.code == "unused-lhs-binding")
+        assert finding.details["unused"] == ["y"]
+
+    def test_guard_read_suppresses_unused_warning(self):
+        rule = Rule(
+            "reader",
+            Struct("st", (Bag([Struct("pair", (Var("x"), Var("y")))],
+                              rest=Var("R")),)),
+            Struct("st", (Bag([Var("x")], rest=Var("R")),)),
+            guard=lambda binding, ctx: binding["y"] == Atom(2),
+        )
+        state = st(Struct("pair", (Atom(1), Atom(2))))
+        findings = lint_rules("toy", [rule], [state])
+        assert "unused-lhs-binding" not in codes(findings)
+
+    def test_wildcard_carries_no_binding_to_flag(self):
+        rule = Rule(
+            "tight",
+            Struct("st", (Bag([Struct("pair", (Var("x"), Wildcard()))],
+                              rest=Var("R")),)),
+            Struct("st", (Bag([Var("x")], rest=Var("R")),)),
+        )
+        state = st(Struct("pair", (Atom(1), Atom(2))))
+        assert lint_rules("toy", [rule], [state]) == []
+
+
+class TestHonestSystems:
+    def test_mp_rules_clean(self):
+        rules = mp.make_rules(2, ring=False)
+        states = sample_states(bound_data(rules, 1), mp.initial_state(2),
+                               max_states=150)
+        assert lint_rules("MP", rules, states) == []
+
+    def test_overlap_pairs_reports_the_norm(self):
+        # Rule 1 (fresh data at any node) overlaps everything else that
+        # keeps the queue shape — overlap is statistics, not a finding.
+        pairs = overlap_pairs(list(mp.make_rules(2)))
+        assert ("1", "2") in pairs
+
+    def test_full_static_registry_is_clean(self):
+        # 300 states (the CLI default) reaches every rule of the deepest
+        # system, BinarySearch at n=5, including the loan machinery.
+        report = LintReport()
+        run_static(report, max_states=300)
+        assert report.ok(), [repr(f) for f in report]
+        assert not report.findings
+        ran = {(p["pass"], p["system"]) for p in report.passes}
+        for system in ("S", "S1", "Token", "MP", "Search", "BinarySearch"):
+            assert ("rule-lint", system) in ran
+
+
+class TestSampling:
+    def test_sample_states_is_bfs_from_initial(self):
+        rules = bound_data(mp.make_rules(2), 1)
+        initial = mp.initial_state(2)
+        states = sample_states(rules, initial, max_states=40)
+        assert states[0] == initial
+        assert len(states) == 40
+        assert len(set(states)) == 40
+
+    def test_sample_respects_cap(self):
+        rules = bound_data(mp.make_rules(2), 1)
+        states = sample_states(rules, mp.initial_state(2), max_states=5)
+        assert len(states) == 5

@@ -1,0 +1,224 @@
+"""Transition sanitizer: clean runs stay silent, injected faults are caught
+with structured violations naming the rule and binding."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.cluster import Cluster
+from repro.lint.findings import LintViolation
+from repro.lint.sanitizer import (
+    ClusterSanitizer,
+    SanitizedRewriter,
+    minimize_state,
+    sanitize_enabled,
+    sanitize_every,
+)
+from repro.specs import system_message_passing as mp
+from repro.specs import system_s
+from repro.specs.common import datum
+from repro.specs.modelcheck import bound_data
+from repro.specs.properties import token_uniqueness
+from repro.trs.rules import Rule, RuleSet
+from repro.trs.terms import Atom, Bag, Seq, Struct, Var
+from repro.workload.generators import FixedRateWorkload
+
+
+class TestEnvironmentSwitches:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitize_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", " OFF "])
+    def test_falsy_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitize_enabled() is False
+
+    def test_truthy_values_enable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled() is True
+
+    def test_every_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE_EVERY", raising=False)
+        assert sanitize_every() == 1
+        monkeypatch.setenv("REPRO_SANITIZE_EVERY", "16")
+        assert sanitize_every() == 16
+        monkeypatch.setenv("REPRO_SANITIZE_EVERY", "junk")
+        assert sanitize_every() == 1
+
+    def test_cluster_respects_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        cluster = Cluster.build("ring", n=2, seed=1)
+        assert cluster.sanitizer is None
+
+    def test_explicit_flag_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        cluster = Cluster.build("ring", n=2, seed=1, sanitize=True)
+        assert cluster.sanitizer is not None
+
+
+class TestSanitizedRewriter:
+    def test_clean_reduction_is_silent(self):
+        rules = bound_data(mp.make_rules(3, ring=True), 1)
+        rewriter = SanitizedRewriter(rules)
+        rewriter.random_reduction(mp.initial_state(3), 80, seed=5)
+        assert rewriter.checked > 0
+
+    def test_duplicate_token_rule_is_caught(self):
+        # Evil rule: the holder emits a token message while also keeping
+        # the token — two tokens observable, the paper's cardinal sin.
+        lhs = mp._state(
+            Var("Q"),
+            Bag([mp._p(Var("x"), Var("H"))], rest=Var("P")),
+            Var("x"), Var("I"), Var("O"),
+        )
+        rhs = mp._state(
+            Var("Q"),
+            Bag([mp._p(Var("x"), Var("H"))], rest=Var("P")),
+            Var("x"), Var("I"),
+            Bag([mp._out(Var("x"), Var("x"), mp._token(Var("H")))],
+                rest=Var("O")),
+        )
+        rewriter = SanitizedRewriter(RuleSet([Rule("evil", lhs, rhs)]))
+        with pytest.raises(LintViolation) as err:
+            rewriter.step(mp.initial_state(2))
+        violation = err.value
+        assert violation.invariant == "token-uniqueness"
+        assert violation.rule == "evil"
+        assert "x" in violation.binding
+        # The minimized state still violates and is structurally no larger.
+        assert not token_uniqueness(violation.minimized)
+        assert violation.rule in str(violation)
+        assert "binding" in str(violation)
+
+    def test_history_rollback_is_caught(self):
+        # System S state with one broadcast datum; the amnesia rule wipes
+        # the global history — a non-append transition.
+        state = system_s._state(
+            Bag([system_s._pair(Atom(0), Seq()),
+                 system_s._pair(Atom(1), Seq())]),
+            Seq((datum(0, 0),)),
+        )
+        amnesia = Rule(
+            "amnesia",
+            system_s._state(Var("Q"), Var("H")),
+            system_s._state(Var("Q"), Seq()),
+        )
+        rewriter = SanitizedRewriter(RuleSet([amnesia]))
+        with pytest.raises(LintViolation) as err:
+            rewriter.step(state)
+        assert err.value.invariant == "history-monotonicity"
+        assert err.value.rule == "amnesia"
+
+    def test_every_k_skips_intermediate_transitions(self):
+        rules = bound_data(mp.make_rules(2), 1)
+        rewriter = SanitizedRewriter(rules, every=1000)
+        rewriter.random_reduction(mp.initial_state(2), 30, seed=3)
+        assert rewriter.checked == 0
+
+
+class TestMinimizeState:
+    def test_shrinks_bags_while_preserving_violation(self):
+        state = Struct("st", (Bag([Atom(i) for i in range(6)] + [Atom(99)]),))
+
+        def violated(s):
+            return Atom(99) in s.args[0]
+
+        minimized = minimize_state(state, violated)
+        assert violated(minimized)
+        assert len(list(minimized.args[0])) == 1
+
+    def test_error_probes_count_as_not_violated(self):
+        state = Struct("st", (Bag([Atom(1), Atom(2)]),))
+
+        def brittle(s):
+            if len(list(s.args[0])) < 2:
+                raise ValueError("malformed")
+            return True
+
+        minimized = minimize_state(state, brittle)
+        assert len(list(minimized.args[0])) == 2  # never shrank into errors
+
+
+class TestClusterSanitizer:
+    def test_small_figure9_style_run_is_clean(self):
+        # The acceptance run: a Figure-9-style small-n binary-search
+        # simulation completes under the sanitizer with zero violations.
+        cluster = Cluster.build("binary_search", n=8, seed=9, sanitize=True)
+        cluster.add_workload(FixedRateWorkload(mean_interval=10.0))
+        cluster.run(rounds=5, max_events=100_000)
+        assert cluster.sanitizer is not None
+        assert cluster.sanitizer.checked > 0
+        cluster.sanitizer.check()  # quiescent full rescan, still clean
+
+    def test_injected_duplicate_token_is_caught(self):
+        config = ProtocolConfig(hold_until_release=True)
+        cluster = Cluster.build("ring", n=4, seed=2, config=config,
+                                sanitize=True)
+        # Fault injection: node 2 conjures a phantom token while node 0
+        # (the initial holder) still has the real one.
+        cluster.drivers[2].core.has_token = True
+        with pytest.raises(LintViolation) as err:
+            cluster.request(2)
+        violation = err.value
+        assert violation.invariant == "single-token-census"
+        assert violation.rule == "on_request"
+        assert violation.binding["node"] == 2
+        assert violation.state["holders"] == [0, 2]
+
+    def test_crashed_nodes_leave_the_census(self):
+        sanitizer = ClusterSanitizer()
+
+        class FakeCore:
+            def __init__(self, node_id, has_token):
+                self.node_id = node_id
+                self.has_token = has_token
+                self.lent_to = None
+
+        holder = FakeCore(0, True)
+        phantom = FakeCore(1, True)
+        sanitizer.register(holder)
+        sanitizer.register(phantom)
+        with pytest.raises(LintViolation):
+            sanitizer.check()
+        sanitizer.mark_crashed(1)
+        sanitizer.check()  # the phantom died with its node
+
+    def test_epoch_fencing_tolerates_stale_old_epoch_tokens(self):
+        sanitizer = ClusterSanitizer()
+
+        class EpochCore:
+            def __init__(self, node_id, epoch, has_token):
+                self.node_id = node_id
+                self.epoch = epoch
+                self.has_token = has_token
+                self.lent_to = None
+
+        stale = EpochCore(0, epoch=1, has_token=True)
+        fresh = EpochCore(1, epoch=2, has_token=True)
+        sanitizer.register(stale)
+        sanitizer.register(fresh)
+        sanitizer.check()  # one token per epoch: regeneration in progress
+        second = EpochCore(2, epoch=2, has_token=True)
+        sanitizer.register(second)
+        with pytest.raises(LintViolation) as err:
+            sanitizer.check()
+        assert err.value.state["epoch"] == 2
+        assert err.value.state["holders"] == [1, 2]
+
+    def test_clock_rollback_is_caught(self):
+        sanitizer = ClusterSanitizer()
+
+        class ClockCore:
+            def __init__(self):
+                self.node_id = 0
+                self.has_token = True
+                self.lent_to = None
+                self.clock = 5
+
+        core = ClockCore()
+        sanitizer.register(core)
+        sanitizer.after_apply(core, "on_message", None, 0.0)
+        core.clock = 3
+        with pytest.raises(LintViolation) as err:
+            sanitizer.after_apply(core, "on_message", None, 1.0)
+        assert err.value.invariant == "clock-monotonicity"

@@ -135,6 +135,33 @@ class TestMachinery:
         assert not result.complete
         assert result.states == 20
 
+    def test_complete_flag_boundary_on_system_s(self):
+        # Regression: `complete` must be False whenever the cap could have
+        # truncated exploration, and True only when the frontier was truly
+        # exhausted below the cap.
+        rw, init = build(system_s.make_rules(), system_s.initial_state(2), 2)
+        full = explore(rw, init, [prefix_property])
+        assert full.complete
+        size = full.states
+
+        tiny = explore(rw, init, [prefix_property], max_states=3)
+        assert not tiny.complete
+        assert tiny.states == 3
+
+        # Cap exactly at the state-space size: the explorer cannot tell
+        # whether the last admitted state had unexplored successors, so it
+        # must stay conservative.
+        exact = explore(rw, init, [prefix_property], max_states=size)
+        assert exact.states == size
+        assert not exact.complete
+
+        # One above the size: the frontier drains with the cap unreached —
+        # same states, now provably complete.
+        generous = explore(rw, init, [prefix_property], max_states=size + 1)
+        assert generous.states == size
+        assert generous.complete
+        assert generous.transitions == full.transitions
+
     def test_bound_data_limits_generation(self):
         rw, init = build(system_s.make_rules(), system_s.initial_state(1), 2)
         states = rw.reachable(init, max_states=1000)

@@ -4,7 +4,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.trs.matching import match, match_all, match_first, substitute
+from repro.trs.matching import (
+    match,
+    match_all,
+    match_first,
+    pattern_subsumes,
+    patterns_overlap,
+    skolemize,
+    substitute,
+)
 from repro.trs.terms import (
     Atom,
     Bag,
@@ -127,6 +135,106 @@ class TestSubstitute:
 
     def test_wildcard_survives(self):
         assert substitute(Wildcard(), {}) == Wildcard()
+
+
+class TestPatternsOverlap:
+    """Edge cases of the static overlap check used by the rule lint."""
+
+    def test_bag_never_overlaps_seq(self):
+        # A multiset and a sequence are different container sorts — no
+        # ground term inhabits both, whatever the elements say.
+        assert not patterns_overlap(bag(var("x")), seq(var("x")))
+        assert not patterns_overlap(seq(), bag())
+        assert not patterns_overlap(bag(atom(1)), seq(atom(1)))
+
+    def test_var_overlaps_either_container(self):
+        assert patterns_overlap(var("H"), seq(atom(1)))
+        assert patterns_overlap(var("H"), bag(atom(1)))
+        assert patterns_overlap(Wildcard(), bag())
+
+    def test_fixed_bags_need_equal_sizes(self):
+        assert not patterns_overlap(bag(atom(1)), bag(atom(1), atom(2)))
+        assert patterns_overlap(bag(var("x"), rest=var("R")),
+                                bag(atom(1), atom(2)))
+
+    def test_rest_on_the_smaller_side_only(self):
+        # The two-item bag has no rest, so it cannot absorb the excess item.
+        assert not patterns_overlap(bag(atom(1), atom(2), atom(3)),
+                                    bag(atom(1), atom(2)))
+        assert patterns_overlap(bag(atom(1), atom(2), atom(3)),
+                                bag(atom(1), atom(2), rest=var("R")))
+
+    def test_bag_pairing_backtracks(self):
+        # The greedy pairing f(1)↔f(y) would strand f(x) against f(2)... —
+        # fine, but pairing f(1)↔f(1) forces the search to backtrack to
+        # find the injective assignment.
+        a = bag(struct("f", atom(1)), struct("f", var("x")))
+        b = bag(struct("f", var("y")), struct("f", atom(1)))
+        assert patterns_overlap(a, b)
+        c = bag(struct("f", atom(1)), struct("f", atom(2)))
+        d = bag(struct("f", atom(2)), struct("f", atom(3)))
+        assert not patterns_overlap(c, d)
+
+    def test_repeated_variable_is_conservatively_overlapping(self):
+        # Overlap treats each occurrence independently, so a non-linear
+        # pattern against unequal atoms is reported as overlapping — the
+        # documented conservative over-approximation (false positives are
+        # statistics for the lint, false negatives would hide shadowing).
+        nonlinear = struct("f", var("x"), var("x"))
+        assert patterns_overlap(nonlinear, struct("f", atom(1), atom(2)))
+        assert patterns_overlap(nonlinear, struct("f", atom(1), atom(1)))
+
+
+class TestPatternSubsumes:
+    """Subsumption (the shadowing test) must be exact on repeated vars."""
+
+    def test_repeated_variable_subsumes_repeated_variable(self):
+        general = struct("f", var("x"), var("x"))
+        specific = struct("f", var("y"), var("y"))
+        assert pattern_subsumes(general, specific)
+
+    def test_repeated_variable_does_not_subsume_distinct_vars(self):
+        # f(x, x) only covers equal arguments; f(a, b) admits unequal ones.
+        general = struct("f", var("x"), var("x"))
+        specific = struct("f", var("a"), var("b"))
+        assert not pattern_subsumes(general, specific)
+        # ... while the converse direction does hold.
+        assert pattern_subsumes(specific, general)
+
+    def test_bag_rest_subsumes_fixed_bag(self):
+        general = bag(var("x"), rest=var("R"))
+        specific = bag(atom(1), atom(2))
+        assert pattern_subsumes(general, specific)
+        assert not pattern_subsumes(specific, general)
+
+    def test_fixed_bag_does_not_subsume_rest_bag(self):
+        # The specific pattern's rest stands for an unknown remainder the
+        # fixed-size general pattern cannot absorb.
+        assert not pattern_subsumes(bag(atom(1)), bag(atom(1), rest=var("R")))
+        assert pattern_subsumes(bag(atom(1), rest=var("S")),
+                                bag(atom(1), rest=var("R")))
+
+    def test_bag_does_not_subsume_seq(self):
+        assert not pattern_subsumes(bag(var("x")), seq(var("x")))
+        assert pattern_subsumes(var("whole"), seq(var("x")))
+
+
+class TestSkolemize:
+    def test_same_variable_same_skolem_atom(self):
+        ground = skolemize(struct("f", var("x"), var("x"), var("y")))
+        assert is_ground(ground)
+        assert ground.args[0] == ground.args[1]
+        assert ground.args[0] != ground.args[2]
+
+    def test_wildcards_get_distinct_atoms(self):
+        ground = skolemize(struct("f", Wildcard(), Wildcard()))
+        assert ground.args[0] != ground.args[1]
+
+    def test_bag_rest_becomes_one_extra_element(self):
+        ground = skolemize(bag(atom(1), rest=var("R")))
+        assert isinstance(ground, Bag)
+        assert ground.rest is None
+        assert len(list(ground)) == 2
 
 
 # ---------------------------------------------------------------------------
