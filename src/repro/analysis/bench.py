@@ -1,0 +1,229 @@
+"""Micro-benchmark suite with a persisted, machine-readable baseline.
+
+``repro bench`` runs a small set of named benchmarks (reduced rounds, a
+few seconds total) and writes the results to ``BENCH_<stamp>.json`` so
+every change to the kernel or protocol cores leaves a perf trajectory to
+regress against.  Each record carries a deterministic ``checksum`` (event
+or message counts) so a throughput "win" that silently changed the
+simulated behaviour is visible in review.
+
+The document schema is versioned (``repro-bench/1``); :func:`validate`
+raises :class:`~repro.errors.BenchSchemaError` on drift and is wired into
+CI so the artifact format cannot rot unnoticed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import BenchSchemaError
+
+__all__ = [
+    "SCHEMA",
+    "collect",
+    "validate",
+    "write_baseline",
+    "default_stamp",
+]
+
+SCHEMA = "repro-bench/1"
+
+#: Required top-level keys of a baseline document.
+_DOC_KEYS = ("schema", "created_utc", "host", "commit", "sanitize", "rounds",
+             "results")
+
+#: Required keys of each result record.
+_RESULT_KEYS = ("name", "metric", "value", "unit", "wall_s", "checksum")
+
+
+#: Timed repetitions per throughput bench; the best is reported (same
+#: convention as pytest-benchmark's min — least noise, not average noise).
+_REPEATS = 3
+
+
+def _bench_des_throughput(rounds: int) -> Dict[str, Any]:
+    """Simulator events/second on the loaded 64-node binary-search cluster
+    (the same configuration as ``test_bench_trs_engine.py``)."""
+    from repro.core.cluster import Cluster
+    from repro.workload.generators import FixedRateWorkload
+
+    def once() -> Tuple[float, int, int]:
+        cluster = Cluster.build("binary_search", n=64, seed=3)
+        cluster.add_workload(FixedRateWorkload(mean_interval=5.0))
+        start = time.perf_counter()
+        cluster.run(rounds=rounds, max_events=2_000_000)
+        wall = time.perf_counter() - start
+        return wall, cluster.sim.executed_total, cluster.messages.total
+
+    once()  # warmup: import/alloc caches, branch predictors
+    wall, events, messages = min(once() for _ in range(_REPEATS))
+    return {
+        "name": "des_cluster_64",
+        "metric": "events_per_second",
+        "value": events / wall if wall > 0 else 0.0,
+        "unit": "1/s",
+        "wall_s": wall,
+        "checksum": {"events": events, "messages": messages},
+    }
+
+
+def _bench_trs_reduction(rounds: int) -> Dict[str, Any]:
+    """TRS steps/second of a safety-checked random reduction (n = 5)."""
+    from repro.specs import system_binary_search as bs
+    from repro.specs.properties import prefix_property, token_uniqueness
+
+    steps = max(50, rounds)
+    start = time.perf_counter()
+    rewriter, initial = bs.make_system(5)
+    reduction = rewriter.random_reduction(initial, steps, seed=7,
+                                          weights={"1": 1.2, "2": 3.0,
+                                                   "5": 0.5})
+    reduction.check_invariant(prefix_property)
+    reduction.check_invariant(token_uniqueness)
+    wall = time.perf_counter() - start
+    return {
+        "name": "trs_reduction_n5",
+        "metric": "steps_per_second",
+        "value": len(reduction) / wall if wall > 0 else 0.0,
+        "unit": "1/s",
+        "wall_s": wall,
+        "checksum": {"steps": len(reduction)},
+    }
+
+
+def _bench_timer_churn(rounds: int) -> Dict[str, Any]:
+    """Kernel schedule/cancel storm: exercises handle-table cancellation
+    and cancelled-entry compaction (the A4 retry-timer pattern)."""
+    from repro.sim.kernel import Simulator
+
+    timers = max(2_000, rounds * 50)
+    start = time.perf_counter()
+    sim = Simulator()
+    survivors = 0
+    for i in range(timers):
+        event = sim.schedule(float(i % 97) + 1.0, int)
+        if i % 10 != 0:
+            event.cancel()  # 90 % cancelled: forces repeated compaction
+        else:
+            survivors += 1
+    fired = sim.run()
+    wall = time.perf_counter() - start
+    return {
+        "name": "kernel_timer_churn",
+        "metric": "timers_per_second",
+        "value": timers / wall if wall > 0 else 0.0,
+        "unit": "1/s",
+        "wall_s": wall,
+        "checksum": {"scheduled": timers, "fired": fired,
+                     "survivors": survivors},
+    }
+
+
+def _bench_figure9_cell(rounds: int) -> Dict[str, Any]:
+    """Wall time of one Figure-9 sweep cell (binary search, n = 64)."""
+    from repro.analysis.experiments import run_protocol_once
+
+    start = time.perf_counter()
+    row = run_protocol_once("binary_search", n=64, mean_interval=10.0,
+                            rounds=rounds, seed=2001)
+    wall = time.perf_counter() - start
+    return {
+        "name": "figure9_cell_n64",
+        "metric": "wall_seconds",
+        "value": wall,
+        "unit": "s",
+        "wall_s": wall,
+        "checksum": {"grants": int(row["grants"]),
+                     "messages": int(row["messages_total"])},
+    }
+
+
+_BENCHES: List[Callable[[int], Dict[str, Any]]] = [
+    _bench_des_throughput,
+    _bench_trs_reduction,
+    _bench_timer_churn,
+    _bench_figure9_cell,
+]
+
+
+def _git_commit() -> str:
+    """Best-effort current commit hash (``unknown`` outside a checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def collect(rounds: int = 40) -> Dict[str, Any]:
+    """Run the whole suite and return the baseline document."""
+    from repro.lint.sanitizer import sanitize_enabled
+
+    results = [bench(rounds) for bench in _BENCHES]
+    return {
+        "schema": SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpus": os.cpu_count() or 1,
+        },
+        "commit": _git_commit(),
+        "sanitize": sanitize_enabled(),
+        "rounds": rounds,
+        "results": results,
+    }
+
+
+def validate(doc: Dict[str, Any]) -> None:
+    """Raise :class:`BenchSchemaError` unless ``doc`` matches the schema."""
+    if not isinstance(doc, dict):
+        raise BenchSchemaError(f"baseline must be an object, got {type(doc).__name__}")
+    missing = [key for key in _DOC_KEYS if key not in doc]
+    if missing:
+        raise BenchSchemaError(f"baseline missing top-level keys: {missing}")
+    if doc["schema"] != SCHEMA:
+        raise BenchSchemaError(
+            f"schema mismatch: expected {SCHEMA!r}, got {doc['schema']!r}")
+    if not isinstance(doc["results"], list) or not doc["results"]:
+        raise BenchSchemaError("baseline has no results")
+    for record in doc["results"]:
+        if not isinstance(record, dict):
+            raise BenchSchemaError(f"result is not an object: {record!r}")
+        absent = [key for key in _RESULT_KEYS if key not in record]
+        if absent:
+            raise BenchSchemaError(
+                f"result {record.get('name', '?')!r} missing keys: {absent}")
+        if not isinstance(record["value"], (int, float)):
+            raise BenchSchemaError(
+                f"result {record['name']!r} value is not numeric")
+
+
+def default_stamp() -> str:
+    """UTC timestamp used in the baseline filename."""
+    return time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+
+
+def write_baseline(doc: Dict[str, Any], out_dir: str = ".",
+                   stamp: Optional[str] = None) -> str:
+    """Validate and persist ``doc`` as ``<out_dir>/BENCH_<stamp>.json``;
+    returns the path written."""
+    validate(doc)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{stamp or default_stamp()}.json")
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

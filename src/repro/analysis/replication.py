@@ -9,8 +9,9 @@ shape assertions use when one protocol must beat another beyond noise.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.runner import Cell, run_cells
 from repro.metrics.stats import confidence_interval, mean, stdev
 
 __all__ = ["replicate", "significantly_less"]
@@ -20,11 +21,17 @@ def _row_key(row: Dict, key_fields: Sequence[str]) -> Tuple:
     return tuple(row.get(field) for field in key_fields)
 
 
+def _seed_cell(experiment: Callable[[int], List[Dict]], seed: int) -> List[Dict]:
+    """Run one replication seed (module-level so it pickles under spawn)."""
+    return experiment(seed)
+
+
 def replicate(
     experiment: Callable[[int], List[Dict]],
     seeds: Sequence[int],
     key_fields: Sequence[str],
     value_fields: Sequence[str],
+    jobs: Optional[int] = None,
 ) -> List[Dict]:
     """Run ``experiment(seed)`` per seed; aggregate rows sharing the same
     ``key_fields`` into ``<field>_mean`` / ``<field>_ci`` / ``<field>_sd``
@@ -33,6 +40,12 @@ def replicate(
     Rows must align across seeds (same key set per run); a missing key in
     some run raises ``ValueError`` so silent misalignment cannot skew the
     aggregate.
+
+    Seeds are embarrassingly parallel: with ``jobs > 1`` each seed's run is
+    a cell on the process pool (``experiment`` must then be picklable — a
+    module-level function or ``functools.partial`` of one).  The aggregate
+    is identical to the serial result because per-seed rows are merged in
+    seed order.
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -41,8 +54,13 @@ def replicate(
     order: List[Tuple] = []
     expected: set = set()
 
-    for idx, seed in enumerate(seeds):
-        rows = experiment(seed)
+    per_seed_rows = run_cells(
+        [Cell(key=("replicate", seed), fn=_seed_cell,
+              kwargs=dict(experiment=experiment, seed=seed))
+         for seed in seeds],
+        jobs=jobs,
+    )
+    for idx, (seed, rows) in enumerate(zip(seeds, per_seed_rows)):
         seen = set()
         for row in rows:
             key = _row_key(row, key_fields)

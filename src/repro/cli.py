@@ -10,6 +10,11 @@ Usage (also available as ``python -m repro``):
     python -m repro ablations [--rounds 200]
     python -m repro refinement [-n 4 --steps 200]
     python -m repro lint [--json --strict --max-states 300]
+    python -m repro bench [--json --rounds 40 --out DIR]
+
+Sweep commands accept ``--jobs N`` (or the ``REPRO_JOBS`` environment
+variable) to fan independent cells out over N worker processes; the output
+is identical to a serial run.
 
 Every command prints plain-text tables (see :mod:`repro.analysis.tables`)
 and returns a process exit code of 0 on success.
@@ -46,6 +51,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="token circulations per run (paper: 1000)")
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent sweep cells "
+                             "(default: REPRO_JOBS or 1 = serial; 0 or -1 "
+                             "means all CPUs)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,16 +80,20 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("-n", "--nodes", type=int, default=100)
     cmp_.add_argument("--mean-interval", type=float, default=100.0)
     _add_common(cmp_)
+    _add_jobs(cmp_)
 
     fig9 = sub.add_parser("figure9", help="regenerate the paper's Figure 9")
     _add_common(fig9)
+    _add_jobs(fig9)
 
     fig10 = sub.add_parser("figure10", help="regenerate the paper's Figure 10")
     fig10.add_argument("-n", "--nodes", type=int, default=100)
     _add_common(fig10)
+    _add_jobs(fig10)
 
     abl = sub.add_parser("ablations", help="run the A1-A5 ablation suite")
     _add_common(abl)
+    _add_jobs(abl)
 
     ref = sub.add_parser("refinement",
                          help="machine-check the TRS refinement chain")
@@ -92,6 +108,21 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="output path (default report.md)")
     rep.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
     _add_common(rep)
+    _add_jobs(rep)
+
+    ben = sub.add_parser(
+        "bench",
+        help="run the micro-benchmark suite and persist a BENCH_<stamp>.json "
+             "baseline")
+    ben.add_argument("--rounds", type=int, default=40,
+                     help="workload rounds per benchmark (default 40)")
+    ben.add_argument("--out", default=".", metavar="DIR",
+                     help="directory for BENCH_<stamp>.json (default .)")
+    ben.add_argument("--json", action="store_true",
+                     help="print the baseline document as JSON")
+    ben.add_argument("--validate", metavar="FILE", default=None,
+                     help="validate an existing baseline file and exit "
+                          "(nothing is run)")
 
     lint = sub.add_parser(
         "lint",
@@ -130,12 +161,16 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    rows = [
-        run_protocol_once(protocol, n=args.nodes,
+    from repro.analysis.runner import Cell, run_cells
+
+    rows = run_cells(
+        [Cell(key=("compare", protocol), fn=run_protocol_once,
+              kwargs=dict(protocol=protocol, n=args.nodes,
                           mean_interval=args.mean_interval,
-                          rounds=args.rounds, seed=args.seed)
-        for protocol in ("ring", "binary_search")
-    ]
+                          rounds=args.rounds, seed=args.seed))
+         for protocol in ("ring", "binary_search")],
+        jobs=args.jobs,
+    )
     print(format_table(
         rows,
         ["protocol", "avg_responsiveness", "max_responsiveness",
@@ -149,7 +184,7 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_figure9(args) -> int:
-    rows = run_figure9(rounds=args.rounds, seed=args.seed)
+    rows = run_figure9(rounds=args.rounds, seed=args.seed, jobs=args.jobs)
     print(format_series(
         rows, index="n", series="protocol", value="avg_responsiveness",
         title="Figure 9 — avg responsiveness vs processors (fixed load)",
@@ -158,7 +193,8 @@ def _cmd_figure9(args) -> int:
 
 
 def _cmd_figure10(args) -> int:
-    rows = run_figure10(n=args.nodes, rounds=args.rounds, seed=args.seed)
+    rows = run_figure10(n=args.nodes, rounds=args.rounds, seed=args.seed,
+                        jobs=args.jobs)
     print(format_series(
         rows, index="mean_interval", series="protocol",
         value="avg_responsiveness",
@@ -171,26 +207,29 @@ def _cmd_figure10(args) -> int:
 
 def _cmd_ablations(args) -> int:
     print(format_table(
-        run_gc_ablation(rounds=args.rounds, seed=args.seed),
+        run_gc_ablation(rounds=args.rounds, seed=args.seed, jobs=args.jobs),
         ["trap_gc", "grants", "dummy_per_grant", "avg_responsiveness"],
         title="A1 — trap garbage collection",
     ))
     print()
     print(format_series(
-        run_directed_ablation(rounds=args.rounds, seed=args.seed),
+        run_directed_ablation(rounds=args.rounds, seed=args.seed,
+                              jobs=args.jobs),
         index="n", series="protocol", value="search_per_grant",
         title="A2 — search messages per request",
     ))
     print()
     print(format_series(
-        run_push_pull_ablation(rounds=args.rounds, seed=args.seed),
+        run_push_pull_ablation(rounds=args.rounds, seed=args.seed,
+                               jobs=args.jobs),
         index="mean_interval", series="protocol",
         value="avg_responsiveness",
         title="A3 — pull vs push vs hybrid (responsiveness)",
     ))
     print()
     print(format_table(
-        run_throttle_ablation(rounds=args.rounds, seed=args.seed),
+        run_throttle_ablation(rounds=args.rounds, seed=args.seed,
+                              jobs=args.jobs),
         ["single_outstanding", "grants", "search_messages", "token_passes",
          "avg_responsiveness"],
         title="A4 — gimme throttle",
@@ -198,7 +237,7 @@ def _cmd_ablations(args) -> int:
     print()
     print(format_table(
         run_adaptive_speed_ablation(rounds=max(args.rounds // 2, 50),
-                                    seed=args.seed),
+                                    seed=args.seed, jobs=args.jobs),
         ["idle_pause", "grants", "messages_per_time", "avg_responsiveness"],
         title="A5 — adaptive token speed",
     ))
@@ -253,7 +292,21 @@ def _cmd_refinement(args) -> int:
     return 0
 
 
+def _report_figure9_seed(seed: int, rounds: int) -> list:
+    """One Figure-9 replication run (module-level so it pickles to spawn
+    workers when ``report --jobs N`` parallelizes over seeds)."""
+    return run_figure9(sizes=(8, 16, 32, 64), rounds=rounds, seed=seed)
+
+
+def _report_figure10_seed(seed: int, rounds: int) -> list:
+    """One Figure-10 replication run (module-level for spawn pickling)."""
+    return run_figure10(intervals=(2, 10, 50, 200), n=64, rounds=rounds,
+                        seed=seed)
+
+
 def _cmd_report(args) -> int:
+    from functools import partial
+
     from repro.analysis.replication import replicate
 
     lines = ["# repro — replicated figure report", ""]
@@ -261,10 +314,10 @@ def _cmd_report(args) -> int:
     lines.append("")
 
     fig9 = replicate(
-        lambda seed: run_figure9(sizes=(8, 16, 32, 64), rounds=args.rounds,
-                                 seed=seed),
+        partial(_report_figure9_seed, rounds=args.rounds),
         seeds=args.seeds, key_fields=("n", "protocol"),
         value_fields=("avg_responsiveness",),
+        jobs=args.jobs,
     )
     lines.append("## Figure 9 — fixed load, varying processors")
     lines.append("")
@@ -278,10 +331,10 @@ def _cmd_report(args) -> int:
     lines.append("")
 
     fig10 = replicate(
-        lambda seed: run_figure10(intervals=(2, 10, 50, 200), n=64,
-                                  rounds=args.rounds, seed=seed),
+        partial(_report_figure10_seed, rounds=args.rounds),
         seeds=args.seeds, key_fields=("mean_interval", "protocol"),
         value_fields=("avg_responsiveness",),
+        jobs=args.jobs,
     )
     lines.append("## Figure 10 — fixed n = 64, varying load")
     lines.append("")
@@ -298,6 +351,45 @@ def _cmd_report(args) -> int:
     with open(args.out, "w") as handle:
         handle.write(text)
     print(f"wrote {args.out} ({len(fig9) + len(fig10)} aggregated rows)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.analysis import bench
+    from repro.errors import BenchSchemaError
+
+    if args.validate is not None:
+        try:
+            with open(args.validate) as handle:
+                doc = json.load(handle)
+            bench.validate(doc)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        except BenchSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid {bench.SCHEMA} baseline "
+              f"({len(doc['results'])} results)")
+        return 0
+
+    doc = bench.collect(rounds=args.rounds)
+    path = bench.write_baseline(doc, out_dir=args.out)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            [{"name": r["name"], "metric": r["metric"],
+              "value": f"{r['value']:.1f}", "unit": r["unit"],
+              "wall_s": f"{r['wall_s']:.3f}"}
+             for r in doc["results"]],
+            ["name", "metric", "value", "unit", "wall_s"],
+            title=f"benchmark baseline (rounds={doc['rounds']}, "
+                  f"sanitize={doc['sanitize']})",
+        ))
+    print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -335,6 +427,7 @@ _COMMANDS = {
     "refinement": _cmd_refinement,
     "report": _cmd_report,
     "lint": _cmd_lint,
+    "bench": _cmd_bench,
 }
 
 

@@ -63,6 +63,17 @@ class BinarySearchCore(ProtocolCore):
         self.outstanding = False
         self.traps = TrapStore()
         self._served_carry: Tuple[Tuple[int, int], ...] = ()
+        # Memo of the last _merge_served inputs/output: between grants the
+        # token's piggyback and each node's carry are stable, so most merges
+        # repeat the previous one verbatim.
+        self._ms_in: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._ms_base: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._ms_out: Tuple[Tuple[int, int], ...] = ()
+        # Lazily-rebuilt {z: seq} view of _served_carry (ids are unique in
+        # the carry).  Keyed by tuple identity so direct writes to
+        # _served_carry (tests, subclasses) invalidate it automatically.
+        self._sm_src: Optional[Tuple[Tuple[int, int], ...]] = None
+        self._sm_map: dict = {}
         self._parked = False
         self._serving = False
         self._demand_seen = False
@@ -115,6 +126,17 @@ class BinarySearchCore(ProtocolCore):
             self._advance(now)
 
     def on_message(self, src: int, msg: object, now: float) -> List[Effect]:
+        # Exact-type dispatch (message classes are final); isinstance
+        # fallback keeps hypothetical subclasses working.
+        kind = type(msg)
+        if kind is TokenMsg:
+            return self._on_token(msg, now)
+        if kind is GimmeMsg:
+            return self._on_gimme(msg, now)
+        if kind is LoanMsg:
+            return self._on_loan(src, msg, now)
+        if kind is LoanReturnMsg:
+            return self._on_loan_return(msg, now)
         if isinstance(msg, TokenMsg):
             return self._on_token(msg, now)
         if isinstance(msg, GimmeMsg):
@@ -416,7 +438,12 @@ class BinarySearchCore(ProtocolCore):
     def _merge_served(self, served: Tuple[Tuple[int, int], ...]) -> None:
         if self.config.trap_gc != GC_ROTATION:
             return
-        merged = dict(self._served_carry)
+        carry = self._served_carry
+        if served == self._ms_in and carry == self._ms_base:
+            # Same inputs as last time: reuse the identical result.
+            self._served_carry = self._ms_out
+            return
+        merged = dict(carry)
         for z, seq in served:
             if merged.get(z, -1) < seq:
                 merged[z] = seq
@@ -424,15 +451,23 @@ class BinarySearchCore(ProtocolCore):
         keep = self.config.served_piggyback
         if keep and len(entries) > keep:
             entries = entries[-keep:]
-        self._served_carry = tuple(entries)
+        out = tuple(entries)
+        self._served_carry = out
+        self._ms_in, self._ms_base, self._ms_out = served, carry, out
+
+    def _served_lookup(self) -> dict:
+        """The carry as a ``{z: seq}`` dict, rebuilt only when the carry
+        tuple was replaced since the last call."""
+        carry = self._served_carry
+        if carry is not self._sm_src:
+            self._sm_src = carry
+            self._sm_map = dict(carry)
+        return self._sm_map
 
     def _is_served(self, z: int, seq: int) -> bool:
-        for a, b in self._served_carry:
-            if a == z and b >= seq:
-                return True
-        return False
+        return self._served_lookup().get(z, -1) >= seq
 
     def _gc_traps(self) -> None:
         if self.config.trap_gc == GC_ROTATION:
             self.traps.expire(self.clock, self.ring_size())
-            self.traps.drop_served(self._served_carry)
+            self.traps.drop_served(self._served_lookup())

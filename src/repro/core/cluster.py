@@ -190,13 +190,15 @@ class Cluster:
         # Small chunks keep the rounds/grants bounds tight (we only check
         # between chunks); one chunk is roughly a tenth of a circulation.
         chunk = max(64, self.n // 8 * 10)
+        sim_run = self.sim.run
+        grants_seen = self.responsiveness.grants
         while budget > 0:
             if rounds is not None and self._rounds_seen >= rounds:
                 break
-            if grants is not None and self.responsiveness.grants() >= grants:
+            if grants is not None and grants_seen() >= grants:
                 break
             step = min(chunk, budget)
-            executed = self.sim.run(until=until, max_events=step)
+            executed = sim_run(until=until, max_events=step)
             budget -= executed
             if executed < step:
                 break  # queue drained or `until` reached

@@ -71,25 +71,46 @@ class TrapStore:
         self._queue.append(Trap(requester, req_seq, set_clock, trail))
         return True
 
-    def drop_served(self, served: Iterable[Tuple[int, int]]) -> int:
+    def drop_served(self, served: "Iterable[Tuple[int, int]] | Dict[int, int]") -> int:
         """Drop traps whose (requester, seq) is already served; returns the
-        number removed."""
-        served_map: Dict[int, int] = {}
-        for z, seq in served:
-            served_map[z] = max(served_map.get(z, -1), seq)
-        before = len(self._queue)
+        number removed.  ``served`` may be the usual (z, seq) iterable or a
+        pre-built ``{z: max_seq}`` mapping (hot-path callers keep one)."""
+        queue = self._queue
+        if not queue:
+            return 0
+        if isinstance(served, dict):
+            served_map = served
+        else:
+            served_map = {}
+            for z, seq in served:
+                served_map[z] = max(served_map.get(z, -1), seq)
+        get = served_map.get
+        for t in queue:
+            if get(t.requester, -1) >= t.req_seq:
+                break
+        else:
+            return 0  # nothing to drop: skip the rebuild
+        before = len(queue)
         self._queue = deque(
-            t for t in self._queue
-            if served_map.get(t.requester, -1) < t.req_seq
+            t for t in queue if get(t.requester, -1) < t.req_seq
         )
         return before - len(self._queue)
 
     def expire(self, current_clock: int, n: int) -> int:
         """Rotation GC: drop traps set at least one full circulation ago;
         returns the number removed."""
-        before = len(self._queue)
+        queue = self._queue
+        if not queue:
+            return 0
+        stale = current_clock - n
+        for t in queue:
+            if t.set_clock <= stale:
+                break
+        else:
+            return 0  # nothing expired: skip the rebuild
+        before = len(queue)
         self._queue = deque(
-            t for t in self._queue if current_clock - t.set_clock < n
+            t for t in queue if current_clock - t.set_clock < n
         )
         return before - len(self._queue)
 
@@ -106,6 +127,8 @@ class TrapStore:
     def remove_for(self, requester: int) -> int:
         """Drop every trap for ``requester`` (inverse clean-up); returns
         the number removed."""
+        if not self._queue:
+            return 0
         before = len(self._queue)
         self._queue = deque(t for t in self._queue if t.requester != requester)
         return before - len(self._queue)

@@ -56,6 +56,22 @@ class ConfigError(ReproError):
     """Invalid protocol, workload, or experiment configuration."""
 
 
+class ExperimentCellError(ReproError):
+    """One cell of a parallel experiment sweep failed.
+
+    Carries the cell key so a crash inside a worker process points at the
+    exact ``(experiment, parameters)`` combination that died instead of
+    surfacing as an anonymous pool failure."""
+
+    def __init__(self, key: object, message: str) -> None:
+        super().__init__(f"experiment cell {key!r} failed: {message}")
+        self.key = key
+
+
+class BenchSchemaError(ReproError):
+    """A persisted benchmark baseline does not match the expected schema."""
+
+
 class LintError(ReproError):
     """The protocol static analyzer found a defect, or was misused.
 

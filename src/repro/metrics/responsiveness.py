@@ -33,6 +33,12 @@ class ResponsivenessTracker:
         self._request_times: Dict[Tuple[int, int], float] = {}
         self.responsiveness_samples: List[float] = []
         self.waiting_samples: List[float] = []
+        # Running aggregates, maintained on every grant so the result
+        # accessors are O(1) instead of re-scanning the sample lists.
+        self._resp_sum = 0.0
+        self._resp_max = 0.0
+        self._wait_sum = 0.0
+        self._wait_max = 0.0
 
     # -- event ingestion ------------------------------------------------------
 
@@ -52,10 +58,18 @@ class ResponsivenessTracker:
         start = self._request_times.pop(key, None)
         if start is None:
             raise SimulationError(f"grant without request: {key}")
-        self.waiting_samples.append(now - start)
+        waited = now - start
+        self.waiting_samples.append(waited)
+        self._wait_sum += waited
+        if waited > self._wait_max:
+            self._wait_max = waited
         if self._period_start is None:
             raise SimulationError("grant while no responsiveness period open")
-        self.responsiveness_samples.append(now - self._period_start)
+        period = now - self._period_start
+        self.responsiveness_samples.append(period)
+        self._resp_sum += period
+        if period > self._resp_max:
+            self._resp_max = period
         self._ready_count -= 1
         self._period_start = now if self._ready_count > 0 else None
 
@@ -70,21 +84,21 @@ class ResponsivenessTracker:
         """Mean of the Definition 3 period samples (Section 4.3's metric)."""
         if not self.responsiveness_samples:
             return 0.0
-        return sum(self.responsiveness_samples) / len(self.responsiveness_samples)
+        return self._resp_sum / len(self.responsiveness_samples)
 
     def max_responsiveness(self) -> float:
         """Definition 3 proper: the worst period."""
-        return max(self.responsiveness_samples, default=0.0)
+        return self._resp_max
 
     def average_waiting(self) -> float:
         """Mean request-to-own-grant delay."""
         if not self.waiting_samples:
             return 0.0
-        return sum(self.waiting_samples) / len(self.waiting_samples)
+        return self._wait_sum / len(self.waiting_samples)
 
     def max_waiting(self) -> float:
         """Worst request-to-own-grant delay."""
-        return max(self.waiting_samples, default=0.0)
+        return self._wait_max
 
     def grants(self) -> int:
         """Number of satisfied requests."""

@@ -114,26 +114,54 @@ class NodeDriver:
     def _apply(
         self, effects: List[Effect], origin: str = "<direct>", payload: object = None
     ) -> None:
+        # Hot path: effects are final dataclasses, so exact type checks are
+        # both correct and cheaper than isinstance; Send dominates.
+        node_id = self.node_id
+        net_send = self.network.send
         for effect in effects:
-            if isinstance(effect, Send):
-                self.network.send(self.node_id, effect.dst, effect.msg)
-            elif isinstance(effect, SetTimer):
+            kind = type(effect)
+            if kind is Send:
+                net_send(node_id, effect.dst, effect.msg)
+            elif kind is SetTimer:
                 previous = self._timers.pop(effect.key, None)
                 if previous is not None:
                     previous.cancel()
                 self._timers[effect.key] = self.sim.schedule(
                     effect.delay, self._on_timer, effect.key
                 )
-            elif isinstance(effect, CancelTimer):
+            elif kind is CancelTimer:
                 event = self._timers.pop(effect.key, None)
                 if event is not None:
                     event.cancel()
-            elif isinstance(effect, Deliver):
+            elif kind is Deliver:
                 for callback in self._subscribers:
-                    callback(self.node_id, effect.kind, effect.payload, self.sim.now)
-            elif isinstance(effect, Trace):
+                    callback(node_id, effect.kind, effect.payload, self.sim.now)
+            elif kind is Trace:
                 pass  # tracing is a no-op in the DES driver
             else:
-                raise SimulationError(f"unknown effect {effect!r}")
+                self._apply_slow(effect)
         if self.sanitizer is not None:
             self.sanitizer.after_apply(self.core, origin, payload, self.sim.now)
+
+    def _apply_slow(self, effect: Effect) -> None:
+        """isinstance fallback for subclassed effect types."""
+        if isinstance(effect, Send):
+            self.network.send(self.node_id, effect.dst, effect.msg)
+        elif isinstance(effect, SetTimer):
+            previous = self._timers.pop(effect.key, None)
+            if previous is not None:
+                previous.cancel()
+            self._timers[effect.key] = self.sim.schedule(
+                effect.delay, self._on_timer, effect.key
+            )
+        elif isinstance(effect, CancelTimer):
+            event = self._timers.pop(effect.key, None)
+            if event is not None:
+                event.cancel()
+        elif isinstance(effect, Deliver):
+            for callback in self._subscribers:
+                callback(self.node_id, effect.kind, effect.payload, self.sim.now)
+        elif isinstance(effect, Trace):
+            pass
+        else:
+            raise SimulationError(f"unknown effect {effect!r}")

@@ -157,7 +157,7 @@ class Network:
         for hook in self.on_send:
             hook(src, dst, msg)
         reliable = bool(getattr(msg, "reliable", True))
-        if self._is_blocked(src, dst):
+        if self._blocked and self._is_blocked(src, dst):
             if reliable:
                 self._parked.append((src, dst, msg))
             else:
@@ -172,8 +172,15 @@ class Network:
         self._schedule_delivery(src, dst, msg)
 
     def _schedule_delivery(self, src: int, dst: int, msg: object) -> None:
-        latency = self.delay.sample(self.rng, src, dst)
-        self.sim.schedule(latency, self._deliver, src, dst, msg)
+        # Deliveries are never cancelled: use the kernel's handle-free fast
+        # path.  The constant-delay model (the experiments' default) skips
+        # the per-message sample() call entirely.
+        delay = self.delay
+        if type(delay) is ConstantDelay:
+            latency = delay.delay
+        else:
+            latency = delay.sample(self.rng, src, dst)
+        self.sim.post(latency, self._deliver, src, dst, msg)
 
     def _deliver(self, src: int, dst: int, msg: object) -> None:
         if dst in self._down:

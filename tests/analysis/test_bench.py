@@ -1,0 +1,72 @@
+"""Schema tests for the persisted benchmark baseline."""
+
+import pytest
+
+from repro.analysis import bench
+from repro.errors import BenchSchemaError
+
+
+def _minimal_doc():
+    return {
+        "schema": bench.SCHEMA,
+        "created_utc": "2026-01-01T00:00:00Z",
+        "host": {"python": "3.11.7", "platform": "linux", "cpus": 1},
+        "commit": "unknown",
+        "sanitize": False,
+        "rounds": 1,
+        "results": [{
+            "name": "des_cluster_64", "metric": "events_per_second",
+            "value": 1.0, "unit": "1/s", "wall_s": 0.5,
+            "checksum": {"events": 1},
+        }],
+    }
+
+
+class TestValidate:
+    def test_accepts_minimal_doc(self):
+        bench.validate(_minimal_doc())
+
+    def test_rejects_wrong_schema_version(self):
+        doc = _minimal_doc()
+        doc["schema"] = "repro-bench/999"
+        with pytest.raises(BenchSchemaError):
+            bench.validate(doc)
+
+    def test_rejects_missing_top_level_key(self):
+        doc = _minimal_doc()
+        del doc["commit"]
+        with pytest.raises(BenchSchemaError):
+            bench.validate(doc)
+
+    def test_rejects_empty_results(self):
+        doc = _minimal_doc()
+        doc["results"] = []
+        with pytest.raises(BenchSchemaError):
+            bench.validate(doc)
+
+    def test_rejects_result_missing_checksum(self):
+        doc = _minimal_doc()
+        del doc["results"][0]["checksum"]
+        with pytest.raises(BenchSchemaError):
+            bench.validate(doc)
+
+    def test_rejects_non_numeric_value(self):
+        doc = _minimal_doc()
+        doc["results"][0]["value"] = "fast"
+        with pytest.raises(BenchSchemaError):
+            bench.validate(doc)
+
+
+class TestWriteBaseline:
+    def test_roundtrip(self, tmp_path):
+        import json
+
+        path = bench.write_baseline(_minimal_doc(), out_dir=str(tmp_path),
+                                    stamp="test")
+        assert path.endswith("BENCH_test.json")
+        with open(path) as handle:
+            bench.validate(json.load(handle))
+
+    def test_refuses_invalid_doc(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            bench.write_baseline({"schema": "nope"}, out_dir=str(tmp_path))

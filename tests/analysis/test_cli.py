@@ -39,12 +39,12 @@ class TestFigures:
     def test_figure9_runs_small(self, capsys, monkeypatch):
         import repro.cli as cli
 
-        def tiny(rounds, seed):
+        def tiny(rounds, seed, jobs=None):
             from repro.analysis.experiments import run_figure9
-            return run_figure9(sizes=(8, 16), rounds=20, seed=seed)
+            return run_figure9(sizes=(8, 16), rounds=20, seed=seed,
+                               jobs=jobs)
 
-        monkeypatch.setattr(cli, "run_figure9",
-                            lambda rounds, seed: tiny(rounds, seed))
+        monkeypatch.setattr(cli, "run_figure9", tiny)
         assert main(["figure9", "--rounds", "20"]) == 0
         out = capsys.readouterr().out
         assert "Figure 9" in out
@@ -52,10 +52,10 @@ class TestFigures:
     def test_figure10_runs_small(self, capsys, monkeypatch):
         import repro.cli as cli
 
-        def tiny(n, rounds, seed):
+        def tiny(n, rounds, seed, jobs=None):
             from repro.analysis.experiments import run_figure10
             return run_figure10(intervals=(5, 50), n=16, rounds=20,
-                                seed=seed)
+                                seed=seed, jobs=jobs)
 
         monkeypatch.setattr(cli, "run_figure10", tiny)
         assert main(["figure10", "-n", "16", "--rounds", "20"]) == 0
@@ -93,3 +93,31 @@ class TestReport:
         assert "Figure 9" in text and "Figure 10" in text
         assert "±" in text
         assert "wrote" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_writes_and_validates_baseline(self, tmp_path, capsys):
+        assert main(["bench", "--rounds", "2", "--out", str(tmp_path)]) == 0
+        baselines = list(tmp_path.glob("BENCH_*.json"))
+        assert len(baselines) == 1
+        out = capsys.readouterr().out
+        assert "des_cluster_64" in out
+
+        assert main(["bench", "--validate", str(baselines[0])]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_bench_json_mode(self, tmp_path, capsys):
+        import json
+
+        assert main(["bench", "--rounds", "2", "--out", str(tmp_path),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-bench/1"
+        assert {r["name"] for r in doc["results"]} >= {
+            "des_cluster_64", "kernel_timer_churn"}
+
+    def test_validate_rejects_schema_drift(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"schema": "repro-bench/999", "results": []}')
+        assert main(["bench", "--validate", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err

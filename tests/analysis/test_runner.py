@@ -1,0 +1,139 @@
+"""Tests for the process-pool experiment engine.
+
+The load-bearing property is *determinism*: a parallel run must produce
+row-for-row identical output to a serial run, so ``--jobs`` can never
+change science, only wall-clock time.  This container may have a single
+CPU, so the tests assert equality of results, not speedup.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_figure9,
+    run_figure10,
+    run_gc_ablation,
+    run_protocol_once,
+)
+from repro.analysis.replication import replicate
+from repro.analysis.runner import Cell, resolve_jobs, run_cells
+from repro.errors import ConfigError, ExperimentCellError
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(message):
+    raise RuntimeError(message)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_env_ignored_when_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_and_minus_one_mean_all_cpus(self):
+        import os
+
+        cpus = os.cpu_count() or 1
+        assert resolve_jobs(0) == cpus
+        assert resolve_jobs(-1) == cpus
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigError):
+            resolve_jobs(None)
+
+    def test_negative_raises(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(-2)
+
+
+class TestRunCells:
+    def test_serial_order(self):
+        cells = [Cell(key=("sq", i), fn=_square, kwargs={"x": i})
+                 for i in range(5)]
+        assert run_cells(cells, jobs=1) == [0, 1, 4, 9, 16]
+
+    def test_parallel_merge_is_submission_order(self):
+        cells = [Cell(key=("sq", i), fn=_square, kwargs={"x": i})
+                 for i in range(8)]
+        assert run_cells(cells, jobs=2) == [0, 1, 4, 9, 16, 25, 36, 49]
+
+    def test_serial_failure_carries_cell_key(self):
+        cells = [
+            Cell(key=("ok",), fn=_square, kwargs={"x": 2}),
+            Cell(key=("boom", 42), fn=_fail, kwargs={"message": "dead cell"}),
+        ]
+        with pytest.raises(ExperimentCellError) as err:
+            run_cells(cells, jobs=1)
+        assert err.value.key == ("boom", 42)
+        assert "dead cell" in str(err.value)
+
+    def test_worker_crash_carries_cell_key(self):
+        """A cell raising inside a spawn worker surfaces as
+        ExperimentCellError naming the exact cell, not an anonymous
+        pool failure."""
+        cells = [
+            Cell(key=("figure9", 4, "ring"), fn=run_protocol_once,
+                 kwargs=dict(protocol="ring", n=4, mean_interval=10.0,
+                             rounds=3, seed=1)),
+            Cell(key=("figure9", 4, "no_such_protocol"), fn=run_protocol_once,
+                 kwargs=dict(protocol="no_such_protocol", n=4,
+                             mean_interval=10.0, rounds=3, seed=1)),
+        ]
+        with pytest.raises(ExperimentCellError) as err:
+            run_cells(cells, jobs=2)
+        assert err.value.key == ("figure9", 4, "no_such_protocol")
+        assert "no_such_protocol" in str(err.value)
+
+
+class TestParallelDeterminism:
+    """Identical rows at every worker count — the engine's contract."""
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_figure9_rows_identical(self, jobs):
+        serial = run_figure9(sizes=(4, 8), rounds=5, seed=9, jobs=1)
+        parallel = run_figure9(sizes=(4, 8), rounds=5, seed=9, jobs=jobs)
+        assert parallel == serial
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_figure10_rows_identical(self, jobs):
+        serial = run_figure10(intervals=(5, 50), n=8, rounds=5, seed=9,
+                              jobs=1)
+        parallel = run_figure10(intervals=(5, 50), n=8, rounds=5, seed=9,
+                                jobs=jobs)
+        assert parallel == serial
+
+    def test_ablation_rows_identical(self):
+        serial = run_gc_ablation(n=8, rounds=4, seed=6, jobs=1)
+        parallel = run_gc_ablation(n=8, rounds=4, seed=6, jobs=2)
+        assert parallel == serial
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_replicate_aggregates_identical(self, jobs):
+        # Positional partial: replicate calls experiment(seed), which lands
+        # in run_figure9's 4th positional slot (sizes, mean_interval,
+        # rounds, seed).  A partial of a module-level fn pickles to spawn
+        # workers; a lambda would not.
+        experiment = partial(run_figure9, (4, 8), 10.0, 4)
+        rows = replicate(experiment, seeds=(1, 2), key_fields=("n", "protocol"),
+                         value_fields=("avg_responsiveness",), jobs=jobs)
+        baseline = replicate(experiment, seeds=(1, 2),
+                             key_fields=("n", "protocol"),
+                             value_fields=("avg_responsiveness",), jobs=1)
+        assert rows == baseline
+        assert all(row["replications"] == 2 for row in rows)

@@ -130,3 +130,105 @@ class TestCancellation:
         sim.schedule(1.0, later.cancel)
         sim.run()
         assert log == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, log.append, "fired")
+        sim.run()
+        event.cancel()  # already executed: must not corrupt counters
+        assert log == ["fired"]
+        assert sim.pending() == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+        assert sim.run() == 1
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_queue(self):
+        """Cancelling most of a timer storm shrinks the heap eagerly
+        (the A4 retry-timer pattern: schedule, then cancel on grant)."""
+        sim = Simulator()
+        log = []
+        survivors = []
+        handles = []
+        for i in range(1000):
+            handles.append(sim.schedule(float(i) + 1.0, log.append, i))
+        for i, event in enumerate(handles):
+            if i % 100 != 0:
+                event.cancel()
+            else:
+                survivors.append(i)
+        # Compaction keeps the physical heap near the live-event count
+        # instead of letting 990 corpses sit until run() drains them.
+        assert sim.pending() == len(survivors)
+        assert len(sim._queue) < 2 * len(survivors) + 2
+        fired = sim.run()
+        assert fired == len(survivors)
+        assert log == survivors  # still in time order after heapify
+
+    def test_compaction_mid_run_keeps_local_alias_valid(self):
+        """run() holds a local alias of the queue; in-place compaction
+        triggered by a handler cancelling en masse must stay visible."""
+        sim = Simulator()
+        log = []
+        timers = [sim.schedule(50.0 + i, log.append, "dead") for i in range(200)]
+        sim.schedule(1.0, lambda: [t.cancel() for t in timers])
+        sim.schedule(300.0, log.append, "tail")
+        assert sim.run() == 2
+        assert log == ["tail"]
+
+    def test_pending_is_live_count_not_heap_length(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i) + 1.0, lambda: None) for i in range(10)]
+        events[3].cancel()
+        events[7].cancel()
+        assert sim.pending() == 8
+
+
+class TestPostFastPath:
+    def test_post_runs_like_schedule(self):
+        sim = Simulator()
+        log = []
+        sim.post(2.0, log.append, "b")
+        sim.post(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_post_priority_tiebreak(self):
+        sim = Simulator()
+        log = []
+        sim.post(1.0, log.append, "late", priority=1)
+        sim.post(1.0, log.append, "early", priority=0)
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_post_counts_as_pending(self):
+        sim = Simulator()
+        sim.post(1.0, lambda: None)
+        assert sim.pending() == 1
+        assert sim.run() == 1
+        assert sim.pending() == 0
+
+    def test_post_rejects_negative_delay(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.post(-0.5, lambda: None)
+
+
+class TestExecutedTotal:
+    def test_accumulates_across_runs(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        assert sim.executed_total == 1
+        sim.run()
+        assert sim.executed_total == 2
