@@ -11,6 +11,7 @@ Usage (also available as ``python -m repro``):
     python -m repro refinement [-n 4 --steps 200]
     python -m repro lint [--json --strict --max-states 300]
     python -m repro bench [--json --rounds 40 --out DIR]
+    python -m repro bench --validate --compare benchmarks/baselines/BENCH_<stamp>.json
 
 Sweep commands accept ``--jobs N`` (or the ``REPRO_JOBS`` environment
 variable) to fan independent cells out over N worker processes; the output
@@ -120,9 +121,17 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="directory for BENCH_<stamp>.json (default .)")
     ben.add_argument("--json", action="store_true",
                      help="print the baseline document as JSON")
-    ben.add_argument("--validate", metavar="FILE", default=None,
+    ben.add_argument("--validate", metavar="FILE", nargs="?", const=True,
+                     default=None,
                      help="validate an existing baseline file and exit "
-                          "(nothing is run)")
+                          "(nothing is run); bare --validate combined with "
+                          "--compare additionally schema-checks the fresh "
+                          "run's document")
+    ben.add_argument("--compare", metavar="FILE", default=None,
+                     help="run the suite at the baseline's recorded rounds "
+                          "and print per-workload deltas against FILE; "
+                          "exits non-zero on checksum mismatch (behaviour "
+                          "drift) — value regressions are informational")
 
     lint = sub.add_parser(
         "lint",
@@ -360,7 +369,11 @@ def _cmd_bench(args) -> int:
     from repro.analysis import bench
     from repro.errors import BenchSchemaError
 
-    if args.validate is not None:
+    if args.validate is not None and args.compare is None:
+        if args.validate is True:
+            print("error: bare --validate needs --compare (or pass a "
+                  "baseline file to validate)", file=sys.stderr)
+            return 2
         try:
             with open(args.validate) as handle:
                 doc = json.load(handle)
@@ -373,6 +386,34 @@ def _cmd_bench(args) -> int:
             return 1
         print(f"{args.validate}: valid {bench.SCHEMA} baseline "
               f"({len(doc['results'])} results)")
+        return 0
+
+    if args.compare is not None:
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+            bench.validate(baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        except BenchSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        # Checksums are rounds-dependent, so the comparison run must use
+        # the baseline's recorded rounds, not the CLI default.
+        doc = bench.collect(rounds=baseline["rounds"])
+        if args.validate is not None:
+            bench.validate(doc)
+        lines, ok = bench.compare(doc, baseline)
+        for line in lines:
+            print(line)
+        if not ok:
+            print(f"bench compare vs {args.compare}: BEHAVIOUR DRIFT "
+                  "(checksum mismatch or missing workload)",
+                  file=sys.stderr)
+            return 1
+        print(f"bench compare vs {args.compare}: OK "
+              "(value deltas are informational)")
         return 0
 
     doc = bench.collect(rounds=args.rounds)

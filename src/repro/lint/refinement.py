@@ -102,6 +102,19 @@ def check_restriction(
     errors = 0
     state_list = list(states)
 
+    # Probes are effect-free and deterministic per (rule, state), so the
+    # differential can share successor sets whenever a rule is probed
+    # against the same state twice (several refined rules mapping to one
+    # parent, primed variants, ...).
+    succ_cache: Dict[Tuple[int, Term], Set[Term]] = {}
+
+    def successors_of(r: Rule, state: Term) -> Set[Term]:
+        key = (id(r), state)
+        cached = succ_cache.get(key)
+        if cached is None:
+            cached = succ_cache[key] = rule_successors(r, state)
+        return cached
+
     for rule in fine_rules:
         parent_name = resolved[rule.name]
         if parent_name is ADDED or parent_name == ADDED:
@@ -110,8 +123,8 @@ def check_restriction(
             continue
         parent = coarse[parent_name]
         for state in state_list:
-            fine_succ = rule_successors(rule, state)
-            parent_succ = rule_successors(parent, state)
+            fine_succ = successors_of(rule, state)
+            parent_succ = successors_of(parent, state)
             widened = fine_succ - parent_succ
             if widened:
                 errors += 1
@@ -206,6 +219,10 @@ def check_simulation(
     findings: List[LintFinding] = []
     classification: Dict[str, str] = {}
     errors = 0
+    # Many fine transitions collapse to the same coarse image pair, and
+    # bounded search is the expensive part of this check — memoize the
+    # verdict per (pre, post) pair.
+    reach_cache: Dict[Tuple[Term, Term], bool] = {}
     for state in states:
         image_pre = mapping(state)
         for rule_name, succ in fine.successors(state):
@@ -213,7 +230,11 @@ def check_simulation(
             if image_pre == image_post:
                 classification.setdefault(rule_name, "stuttering")
                 continue
-            if coarse.can_reach(image_pre, image_post, max_depth):
+            reachable = reach_cache.get((image_pre, image_post))
+            if reachable is None:
+                reachable = reach_cache[(image_pre, image_post)] = \
+                    coarse.can_reach(image_pre, image_post, max_depth)
+            if reachable:
                 classification[rule_name] = "simulated"
                 continue
             classification[rule_name] = "unsimulated"

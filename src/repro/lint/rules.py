@@ -105,8 +105,10 @@ def sample_states(
     seen = {initial}
     order = [initial]
     frontier = [initial]
-    while frontier and len(seen) < max_states:
-        state = frontier.pop(0)
+    cursor = 0  # list + cursor: pop(0) is O(n) per dequeue
+    while cursor < len(frontier) and len(seen) < max_states:
+        state = frontier[cursor]
+        cursor += 1
         for _, succ in rewriter.successors(state):
             if succ not in seen:
                 seen.add(succ)

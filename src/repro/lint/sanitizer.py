@@ -230,6 +230,12 @@ class ClusterSanitizer:
         self._holder_epochs: Dict[int, int] = {}
         #: epoch -> number of observable tokens (inverse of the above)
         self._epoch_counts: Dict[int, int] = {}
+        #: node -> (has_token?, lent_to?, epoch?, clock?, req/granted_seq?)
+        #: attribute-presence flags, probed once per core: every audited
+        #: attribute is assigned in the cores' ``__init__``, so presence
+        #: never changes after registration and the hot path can use direct
+        #: attribute access instead of ``getattr`` chains.
+        self._flags: Dict[int, tuple] = {}
         self._events = 0
         self.checked = 0
 
@@ -245,6 +251,7 @@ class ClusterSanitizer:
         self._set_holder(node_id, None)
         self._cores.pop(node_id, None)
         self._clocks.pop(node_id, None)
+        self._flags.pop(node_id, None)
         self._crashed.discard(node_id)
 
     def mark_crashed(self, node_id: int) -> None:
@@ -275,13 +282,34 @@ class ClusterSanitizer:
             self._holder_epochs[node_id] = epoch
             self._epoch_counts[epoch] = self._epoch_counts.get(epoch, 0) + 1
 
+    def _core_flags(self, core) -> tuple:
+        node_id = core.node_id
+        flags = self._flags.get(node_id)
+        if flags is None:
+            flags = (
+                hasattr(core, "has_token"),
+                hasattr(core, "lent_to"),
+                hasattr(core, "epoch"),
+                hasattr(core, "clock"),
+                hasattr(core, "req_seq") and hasattr(core, "granted_seq"),
+            )
+            self._flags[node_id] = flags
+        return flags
+
     def _update_core(self, core) -> None:
         node_id = core.node_id
-        holds = node_id not in self._crashed and (
-            getattr(core, "has_token", False)
-            or getattr(core, "lent_to", None) is not None
-        )
-        self._set_holder(node_id, getattr(core, "epoch", 0) if holds else None)
+        flags = self._core_flags(core)
+        if node_id in self._crashed:
+            holds = False
+        else:
+            holds = (flags[0] and core.has_token) or (
+                flags[1] and core.lent_to is not None
+            )
+        epoch = (core.epoch if flags[2] else 0) if holds else None
+        # Fast path: the holder view is unchanged (the overwhelmingly
+        # common case — most events do not move the token).
+        if self._holder_epochs.get(node_id) != epoch:
+            self._set_holder(node_id, epoch)
 
     # -- the hook ----------------------------------------------------------------
 
@@ -290,16 +318,17 @@ class ClusterSanitizer:
 
         The incremental view is refreshed on *every* event (cheap, O(1) —
         only ``core`` can have changed); the invariants are evaluated on
-        every ``k``-th.
+        every ``k``-th.  Violation reports are assembled only on the raise
+        path, so the per-event cost is a few attribute reads and dict
+        probes.
         """
         self._events += 1
         self._update_core(core)
         if self._events % self.every != 0:
             return
         self.checked += 1
-        binding = {"node": core.node_id, "payload": payload}
-        self._check_census(origin, binding)
-        self._check_core(core, origin, binding)
+        self._check_census(origin, core.node_id, payload)
+        self._check_core(core, origin, core.node_id, payload)
 
     def check(
         self,
@@ -310,29 +339,30 @@ class ClusterSanitizer:
         """Rescan every core and run every invariant now; raise on the
         first violation (used at quiescent points and by tests)."""
         self.checked += 1
-        binding = {"node": node, "payload": payload}
         for core in self._cores.values():
             self._update_core(core)
-        self._check_census(origin, binding)
+        self._check_census(origin, node, payload)
         for node_id, core in self._cores.items():
             if node_id not in self._crashed:
-                self._check_core(core, origin, binding)
+                self._check_core(core, origin, node, payload)
 
     # -- invariants ---------------------------------------------------------------
 
-    def _check_census(self, origin: str, binding: Dict) -> None:
-        if not self._epoch_counts:
+    def _check_census(self, origin: str, node: Optional[int],
+                      payload: object) -> None:
+        counts = self._epoch_counts
+        if not counts:
             return
-        newest = max(self._epoch_counts)
-        if self._epoch_counts[newest] > 1:
+        newest = max(counts)
+        if counts[newest] > 1:
             holders = sorted(
-                node for node, epoch in self._holder_epochs.items()
+                n for n, epoch in self._holder_epochs.items()
                 if epoch == newest
             )
             raise LintViolation(
                 invariant="single-token-census",
                 rule=origin,
-                binding=binding,
+                binding={"node": node, "payload": payload},
                 state={"epoch": newest, "holders": holders},
                 detail=(
                     f"{len(holders)} tokens observable at rest in "
@@ -340,38 +370,43 @@ class ClusterSanitizer:
                 ),
             )
 
-    def _check_core(self, core, origin: str, binding: Dict) -> None:
-        clock = getattr(core, "clock", None)
-        if clock is not None:
-            last = self._clocks.get(core.node_id)
-            if last is not None and clock < last:
+    def _check_core(self, core, origin: str, node: Optional[int],
+                    payload: object) -> None:
+        flags = self._core_flags(core)
+        if flags[3]:
+            clock = core.clock
+            if clock is not None:
+                node_id = core.node_id
+                last = self._clocks.get(node_id)
+                if last is not None and clock < last:
+                    raise LintViolation(
+                        invariant="clock-monotonicity",
+                        rule=origin,
+                        binding={"node": node, "payload": payload},
+                        state={"node": node_id, "clock": clock,
+                               "previous": last},
+                        detail=(
+                            f"node {node_id} visit clock went backwards "
+                            f"({last} -> {clock})"
+                        ),
+                    )
+                self._clocks[node_id] = clock
+        if flags[4]:
+            req_seq = core.req_seq
+            granted_seq = core.granted_seq
+            if (
+                req_seq is not None
+                and granted_seq is not None
+                and granted_seq > req_seq
+            ):
                 raise LintViolation(
-                    invariant="clock-monotonicity",
+                    invariant="grant-sequencing",
                     rule=origin,
-                    binding=binding,
-                    state={"node": core.node_id, "clock": clock,
-                           "previous": last},
+                    binding={"node": node, "payload": payload},
+                    state={"node": core.node_id, "granted_seq": granted_seq,
+                           "req_seq": req_seq},
                     detail=(
-                        f"node {core.node_id} visit clock went backwards "
-                        f"({last} -> {clock})"
+                        f"node {core.node_id} granted_seq {granted_seq} "
+                        f"exceeds req_seq {req_seq}"
                     ),
                 )
-            self._clocks[core.node_id] = clock
-        req_seq = getattr(core, "req_seq", None)
-        granted_seq = getattr(core, "granted_seq", None)
-        if (
-            req_seq is not None
-            and granted_seq is not None
-            and granted_seq > req_seq
-        ):
-            raise LintViolation(
-                invariant="grant-sequencing",
-                rule=origin,
-                binding=binding,
-                state={"node": core.node_id, "granted_seq": granted_seq,
-                       "req_seq": req_seq},
-                detail=(
-                    f"node {core.node_id} granted_seq {granted_seq} "
-                    f"exceeds req_seq {req_seq}"
-                ),
-            )

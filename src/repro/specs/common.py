@@ -29,6 +29,7 @@ Encoding conventions (uniform across all six systems):
 from __future__ import annotations
 
 from typing import Iterable, List
+from weakref import finalize as _finalize
 
 from repro.errors import SpecError
 from repro.trs.terms import Atom, Bag, Seq, Struct, Term
@@ -182,24 +183,62 @@ def next_nonce(binding, x: int) -> int:
     — rule 1 binds the entire state — for ``d(x, k)`` structs and return
     ``1 + max(k)`` (0 when none exist).
     """
+    target = proc(x)
     best = -1
-    stack = [v for v in binding.values() if isinstance(v, Term)]
-    while stack:
-        t = stack.pop()
-        if isinstance(t, Struct):
-            if (
-                t.functor == "d"
-                and len(t.args) == 2
-                and t.args[0] == proc(x)
-                and isinstance(t.args[1], Atom)
-            ):
-                best = max(best, t.args[1].value)
-            stack.extend(t.args)
-        elif isinstance(t, Seq):
-            stack.extend(t.items)
-        elif isinstance(t, Bag):
-            stack.extend(t.items)
+    for v in binding.values():
+        if isinstance(v, Term):
+            k = _nonce_table(v).get(target, -1)
+            if k > best:
+                best = k
     return best + 1
+
+
+_NONCE_MEMO: dict = {}
+_EMPTY_TABLE: dict = {}
+
+
+def _nonce_table(t: Term) -> dict:
+    """Map each node atom to the largest ``k`` of any ``d(node, k)`` struct
+    occurring anywhere inside ``t``.
+
+    Terms are interned (hash-consed), so the table is memoized per term
+    identity; state components untouched by a rewrite hit the cache, which
+    turns :func:`next_nonce`'s full-state scan into a few dict lookups.
+    """
+    key = id(t)
+    tbl = _NONCE_MEMO.get(key)
+    if tbl is not None:
+        return tbl
+    if isinstance(t, Struct):
+        kids = t.args
+    elif isinstance(t, (Seq, Bag)):
+        kids = t.items
+    else:
+        return _EMPTY_TABLE
+    tbl = _EMPTY_TABLE
+    for kid in kids:
+        sub = _nonce_table(kid)
+        if sub:
+            if tbl is _EMPTY_TABLE:
+                tbl = dict(sub)
+            else:
+                for node, k in sub.items():
+                    if k > tbl.get(node, -1):
+                        tbl[node] = k
+    if (
+        isinstance(t, Struct)
+        and t.functor == "d"
+        and len(t.args) == 2
+        and isinstance(t.args[1], Atom)
+    ):
+        node, k = t.args[0], t.args[1].value
+        if tbl is _EMPTY_TABLE:
+            tbl = {node: k}
+        elif k > tbl.get(node, -1):
+            tbl[node] = k
+    _NONCE_MEMO[key] = tbl
+    _finalize(t, _NONCE_MEMO.pop, key, None)
+    return tbl
 
 
 def _entry(bag_term: Bag, functor: str, x: int) -> Struct:

@@ -167,13 +167,15 @@ def explore(
     check(initial, "<initial>")
     seen = {initial}
     frontier = [initial]
+    cursor = 0  # list + cursor: pop(0) is O(n) per dequeue
     transitions = 0
     complete = True
-    while frontier:
+    while cursor < len(frontier):
         if len(seen) >= max_states:
             complete = False
             break
-        state = frontier.pop(0)
+        state = frontier[cursor]
+        cursor += 1
         for rule_name, succ in rewriter.successors(state):
             transitions += 1
             if succ in seen:
@@ -199,12 +201,14 @@ def explore_graph(
     seen = {initial}
     edges = {initial: []}
     frontier = [initial]
+    cursor = 0  # list + cursor: pop(0) is O(n) per dequeue
     complete = True
-    while frontier:
+    while cursor < len(frontier):
         if len(seen) >= max_states:
             complete = False
             break
-        state = frontier.pop(0)
+        state = frontier[cursor]
+        cursor += 1
         for _, succ in rewriter.successors(state):
             edges[state].append(succ)
             if succ not in seen:

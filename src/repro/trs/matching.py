@@ -10,20 +10,37 @@ notation.
 All matching functions are generators so callers can enumerate every match
 (needed when several rule instantiations apply to one state) or stop at the
 first.
+
+Implementation notes (DESIGN.md §8).  Patterns are *compiled once* into a
+closure pipeline (:func:`compile_pattern`): deterministic sub-patterns
+(atoms, variables, ground bag-free subterms, structs/seqs thereof) become
+single-shot destructuring functions, while bag patterns become generators
+that enumerate candidates through a per-``Bag`` discrimination index keyed
+by functor/arity (refined by the first fixed argument).  During a match,
+partial bindings live in *chains* — immutable ``(name, value, parent)``
+links over the caller's base dict — and are materialised into a plain dict
+only when a complete match is yielded, eliminating the per-extension dict
+copies of the naive matcher.  Enumeration order is bit-identical to the
+original backtracking matcher: index buckets preserve bag item order, and
+candidates that an index lookup skips are exactly those the old scan would
+have rejected.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from weakref import finalize
 
 from repro.errors import MatchError, TermError
-from repro.trs.terms import Atom, Bag, Seq, Struct, Term, Var, Wildcard
+from repro.trs.terms import Atom, Bag, Seq, Struct, Term, Var, Wildcard, variables_of
 
 __all__ = [
     "Binding",
     "match",
     "match_first",
     "match_all",
+    "compile_pattern",
+    "compile_builder",
     "substitute",
     "patterns_overlap",
     "pattern_subsumes",
@@ -32,17 +49,733 @@ __all__ = [
 
 Binding = Dict[str, Term]
 
+#: Sentinel distinguishing "name not bound" from any legitimate bound value
+#: (``binding.get(name) is None`` would misread a future None-valued atom —
+#: see the regression tests in tests/trs/test_matching.py).
+_UNBOUND: Any = object()
 
-def _bind(binding: Binding, name: str, value: Term) -> Optional[Binding]:
-    """Extend ``binding`` with ``name -> value``; None on conflict."""
-    existing = binding.get(name)
-    if existing is None:
-        out = dict(binding)
-        out[name] = value
+#: Sentinel returned by deterministic matchers on failure (``None`` is a
+#: valid — empty — binding chain).
+_FAIL: Any = object()
+
+_EMPTY_BUCKET: Tuple[int, ...] = ()
+_SINGLETON_BUCKET: Tuple[int, ...] = (0,)
+
+
+# ---------------------------------------------------------------------------
+# Binding chains
+# ---------------------------------------------------------------------------
+#
+# A chain is ``None`` (no new bindings) or a ``(name, value, parent)`` tuple;
+# the caller's initial binding dict (``base``) sits below every chain and is
+# never copied during the search.
+
+def _chain_lookup(chain: Any, base: Optional[Binding], name: str) -> Any:
+    """Value bound to ``name`` in ``chain``/``base``, or ``_UNBOUND``."""
+    while chain is not None:
+        if chain[0] == name:
+            return chain[1]
+        chain = chain[2]
+    if base is not None:
+        return base.get(name, _UNBOUND)
+    return _UNBOUND
+
+
+def _chain_to_dict(chain: Any, base: Optional[Binding]) -> Binding:
+    """Materialise a chain (plus the base dict) into a plain binding dict."""
+    out: Binding = dict(base) if base else {}
+    if chain is not None:
+        entries = []
+        while chain is not None:
+            entries.append(chain)
+            chain = chain[2]
+        for name, value, _ in reversed(entries):
+            out[name] = value
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Discrimination index over ground bags
+# ---------------------------------------------------------------------------
+#
+# Built lazily, once per interned Bag, and cached on the term (``_index``).
+# Every element is registered under a coarse shape key — ("a", value) for
+# atoms, ("s", functor, arity) for structs, ("q", len) for seqs — plus one
+# refinement key per fixed struct argument, so a pattern like
+# ``in(x, -, token(h))`` only ever visits ``in``-structs whose third
+# argument is a ``token`` struct.  Bucket lists keep ascending positions:
+# enumeration order inside a bucket equals the old full-scan order.
+
+def _item_index_keys(item: Term) -> Iterator[tuple]:
+    """Keys under which one ground bag element is registered."""
+    if isinstance(item, Atom):
+        yield ("a", item.value)
+    elif isinstance(item, Struct):
+        f = item.functor
+        n = len(item.args)
+        yield ("s", f, n)
+        for j, a in enumerate(item.args):
+            if isinstance(a, Atom):
+                yield ("sa", f, n, j, a.value)
+            elif isinstance(a, Struct):
+                yield ("ss", f, n, j, a.functor, len(a.args))
+            elif isinstance(a, Seq):
+                yield ("sq", f, n, j, len(a.items))
+    elif isinstance(item, Seq):
+        yield ("q", len(item.items))
+    else:  # defensive: bags inside ground bags are flattened away
+        yield ("b",)
+
+
+def _pattern_index_key(p: Term) -> Optional[tuple]:
+    """Most selective index key for an element pattern (None = scan all)."""
+    if isinstance(p, Atom):
+        return ("a", p.value)
+    if isinstance(p, Struct):
+        f = p.functor
+        n = len(p.args)
+        for j, a in enumerate(p.args):
+            if isinstance(a, Atom):
+                return ("sa", f, n, j, a.value)
+            if isinstance(a, Struct):
+                return ("ss", f, n, j, a.functor, len(a.args))
+            if isinstance(a, Seq):
+                return ("sq", f, n, j, len(a.items))
+        return ("s", f, n)
+    if isinstance(p, Seq):
+        return ("q", len(p.items))
+    return None  # Var, Wildcard, nested bag patterns: no discrimination
+
+
+def _bag_index(term: Bag) -> Tuple[Dict[tuple, List[int]], bool]:
+    """``(index, has_dups)`` for a ground bag, built once and cached.
+
+    ``has_dups`` records whether any element occurs more than once (by
+    term equality); when all elements are distinct the matcher can skip
+    its duplicate-candidate bookkeeping entirely.
+    """
+    cached = term._index
+    if cached is None:
+        index: Dict[tuple, List[int]] = {}
+        for pos, item in enumerate(term.items):
+            for key in _item_index_keys(item):
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [pos]
+                else:
+                    bucket.append(pos)
+        has_dups = len(set(term.items)) != len(term.items)
+        cached = (index, has_dups)
+        term._index = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# Pattern compilation
+# ---------------------------------------------------------------------------
+#
+# ``_compile`` returns ``(is_gen, fn)``.  Deterministic matchers have the
+# shape ``fn(term, chain, base) -> chain | _FAIL``; generator matchers yield
+# zero or more chains.  Only bag patterns (and containers holding them) need
+# the generator form.
+
+def _has_bag(t: Term) -> bool:
+    if isinstance(t, Bag):
+        return True
+    if isinstance(t, Struct):
+        return any(_has_bag(a) for a in t.args)
+    if isinstance(t, Seq):
+        return any(_has_bag(a) for a in t.items)
+    return False
+
+
+def _compile(pattern: Term) -> Tuple[bool, Callable[..., Any]]:
+    if isinstance(pattern, Wildcard):
+        return False, lambda t, c, b: c
+
+    if isinstance(pattern, Var):
+        def match_var(t, c, b, _name=pattern.name):
+            existing = _chain_lookup(c, b, _name)
+            if existing is _UNBOUND:
+                return (_name, t, c)
+            if existing is t or existing == t:
+                return c
+            return _FAIL
+        return False, match_var
+
+    if not isinstance(pattern, (Atom, Struct, Seq, Bag)):
+        raise TermError(f"unknown pattern type: {pattern!r}")
+
+    if pattern.ground and not _has_bag(pattern):
+        # Atoms and ground bag-free structs/seqs: one interned comparison.
+        def match_ground(t, c, b, _p=pattern):
+            if t is _p or _p == t:
+                return c
+            return _FAIL
+        return False, match_ground
+
+    if isinstance(pattern, Struct):
+        return _compile_fixed(pattern.functor,
+                              [_compile(a) for a in pattern.args])
+
+    if isinstance(pattern, Seq):
+        return _compile_fixed(None, [_compile(a) for a in pattern.items])
+
+    return True, _compile_bag(pattern)
+
+
+def _compile_fixed(
+    functor: Optional[str],
+    compiled: List[Tuple[bool, Callable[..., Any]]],
+) -> Tuple[bool, Callable[..., Any]]:
+    """Compile a struct (``functor`` given) or seq (None) element pipeline."""
+    n = len(compiled)
+    if all(not is_gen for is_gen, _ in compiled):
+        fns = tuple(fn for _, fn in compiled)
+        if functor is not None:
+            def match_struct(t, c, b, _f=functor, _n=n, _fns=fns):
+                if not isinstance(t, Struct) or t.functor != _f:
+                    return _FAIL
+                args = t.args
+                if len(args) != _n:
+                    return _FAIL
+                for sub, a in zip(_fns, args):
+                    c = sub(a, c, b)
+                    if c is _FAIL:
+                        return _FAIL
+                return c
+            return False, match_struct
+
+        def match_seq(t, c, b, _n=n, _fns=fns):
+            if not isinstance(t, Seq):
+                return _FAIL
+            items = t.items
+            if len(items) != _n:
+                return _FAIL
+            for sub, a in zip(_fns, items):
+                c = sub(a, c, b)
+                if c is _FAIL:
+                    return _FAIL
+            return c
+        return False, match_seq
+
+    pairs = tuple(compiled)
+
+    def match_mixed(t, c, b, _f=functor, _n=n, _pairs=pairs):
+        if _f is not None:
+            if not isinstance(t, Struct) or t.functor != _f:
+                return
+            elems = t.args
+        else:
+            if not isinstance(t, Seq):
+                return
+            elems = t.items
+        if len(elems) != _n:
+            return
+
+        def at(i, cc):
+            if i == _n:
+                yield cc
+                return
+            is_gen, fn = _pairs[i]
+            if is_gen:
+                for c2 in fn(elems[i], cc, b):
+                    yield from at(i + 1, c2)
+            else:
+                c2 = fn(elems[i], cc, b)
+                if c2 is not _FAIL:
+                    yield from at(i + 1, c2)
+
+        yield from at(0, c)
+
+    return True, match_mixed
+
+
+def _compile_bag(pattern: Bag) -> Callable[..., Any]:
+    """AC bag matcher: index-filtered candidates, used-set backtracking.
+
+    Reproduces the original backtracking semantics exactly: pattern elements
+    are assigned left to right, candidates are visited in bag item order,
+    duplicate candidates are skipped at each pattern position (matching an
+    identical element again can only reproduce the same bindings), and the
+    remainder binds to ``rest`` (must be empty without one).
+    """
+    compiled = tuple(_compile(e) for e in pattern.items)
+    keys = tuple(_pattern_index_key(e) for e in pattern.items)
+    n_pat = len(compiled)
+    rest = pattern.rest
+    rest_name = rest.name if rest is not None else None
+
+    if n_pat == 0:
+        def match_empty(term, chain, base):
+            if not isinstance(term, Bag):
+                return
+            if term.rest is not None:
+                raise MatchError(
+                    "cannot match against a bag pattern (term has a rest var)")
+            if rest_name is None:
+                if not term.items:
+                    yield chain
+                return
+            existing = _chain_lookup(chain, base, rest_name)
+            if existing is _UNBOUND:
+                yield (rest_name, term, chain)
+            elif existing is term or existing == term:
+                yield chain
+        return match_empty
+
+    if n_pat == 1:
+        # The dominant shape in the spec systems (``Q | (x, d_x)``): no
+        # assignment backtracking at all — one candidate loop, remainder
+        # spliced from the items tuple.
+        is_gen0, fn0 = compiled[0]
+        key0 = keys[0]
+
+        def match_single(term, chain, base):
+            if not isinstance(term, Bag):
+                return
+            if term.rest is not None:
+                raise MatchError(
+                    "cannot match against a bag pattern (term has a rest var)")
+            items = term.items
+            n_items = len(items)
+            if rest_name is None:
+                if n_items != 1:
+                    return
+                candidates = _SINGLETON_BUCKET
+                has_dups = False
+            elif n_items == 0:
+                return
+            else:
+                index, has_dups = _bag_index(term)
+                candidates = range(n_items) if key0 is None \
+                    else index.get(key0, _EMPTY_BUCKET)
+            seen = set() if has_dups else None
+            for pos in candidates:
+                t = items[pos]
+                if seen is not None:
+                    if t in seen:
+                        continue
+                    seen.add(t)
+                if is_gen0:
+                    results = fn0(t, chain, base)
+                else:
+                    c2 = fn0(t, chain, base)
+                    results = (c2,) if c2 is not _FAIL else ()
+                for c2 in results:
+                    if rest_name is None:
+                        yield c2
+                        continue
+                    remainder = Bag(items[:pos] + items[pos + 1:])
+                    existing = _chain_lookup(c2, base, rest_name)
+                    if existing is _UNBOUND:
+                        yield (rest_name, remainder, c2)
+                    elif existing is remainder or existing == remainder:
+                        yield c2
+        return match_single
+
+    def match_bag(term, chain, base):
+        if not isinstance(term, Bag):
+            return
+        if term.rest is not None:
+            raise MatchError("cannot match against a bag pattern (term has a rest var)")
+        items = term.items
+        n_items = len(items)
+        if rest_name is None:
+            if n_pat != n_items:
+                return
+        elif n_pat > n_items:
+            return
+        if n_items:
+            index, has_dups = _bag_index(term)
+        else:
+            index, has_dups = {}, False
+        used: set = set()
+
+        def assign(i, c):
+            if i == n_pat:
+                if rest_name is None:
+                    yield c
+                    return
+                if used:
+                    remainder = Bag([items[k] for k in range(n_items)
+                                     if k not in used])
+                else:
+                    remainder = term
+                existing = _chain_lookup(c, base, rest_name)
+                if existing is _UNBOUND:
+                    yield (rest_name, remainder, c)
+                elif existing is remainder or existing == remainder:
+                    yield c
+                return
+            is_gen, fn = compiled[i]
+            key = keys[i]
+            candidates = range(n_items) if key is None \
+                else index.get(key, _EMPTY_BUCKET)
+            # Skip duplicate candidates at the same pattern position:
+            # matching an identical element again can only reproduce the
+            # same bindings.  When the bag has no duplicates at all the
+            # bookkeeping is skipped.
+            seen = set() if has_dups else None
+            for pos in candidates:
+                if pos in used:
+                    continue
+                t = items[pos]
+                if seen is not None:
+                    if t in seen:
+                        continue
+                    seen.add(t)
+                used.add(pos)
+                if is_gen:
+                    for c2 in fn(t, c, base):
+                        yield from assign(i + 1, c2)
+                else:
+                    c2 = fn(t, c, base)
+                    if c2 is not _FAIL:
+                        yield from assign(i + 1, c2)
+                used.discard(pos)
+
+        yield from assign(0, chain)
+
+    return match_bag
+
+
+# ---------------------------------------------------------------------------
+# Product decomposition of top-level struct patterns
+# ---------------------------------------------------------------------------
+#
+# Every rule LHS in the spec systems is a struct over the state components
+# (``BS(Q, P, T, I, O, W)``...), and a rewrite step changes only a few of
+# them — the rest keep their identity under interning.  So the top-level
+# pattern is compiled into one *fragment enumerator per argument*, each
+# caching its results per interned component term: matching a state whose
+# ``P``/``O``/``W`` components are unchanged since the previous step reuses
+# their cached factor matches outright.  A full match is the left-to-right
+# product of the factor fragments, filtered for consistency on the names
+# two factors share — exactly the original backtracking enumeration order,
+# because the original matcher also visits arguments left to right and
+# candidates in bag-item order (cross-factor pruning only removes products
+# that are filtered here, it never reorders survivors).
+
+_NO_FRAGS: Tuple[tuple, ...] = ()
+_UNIT_FRAGS: Tuple[tuple, ...] = ((),)
+
+
+def _chain_pairs(chain: Any) -> tuple:
+    """Chain entries as ``((name, value), ...)`` in binding order."""
+    entries = []
+    while chain is not None:
+        entries.append((chain[0], chain[1]))
+        chain = chain[2]
+    entries.reverse()
+    return tuple(entries)
+
+
+#: Shared fragment enumerators, keyed by factor-pattern identity.  Rules
+#: routinely destructure the same state component with the *same* interned
+#: sub-pattern (``Bag{Q | q(x, d)}`` appears in four BinarySearch rules);
+#: sharing the enumerator shares its per-target fragment cache, so a
+#: component changed by a step is re-enumerated once, not once per rule.
+_FRAG_ENUMS: Dict[int, Callable[[Term], tuple]] = {}
+
+
+def _fragment_enum(sub: Term) -> Callable[[Term], tuple]:
+    """Compile one product factor into a cached fragment enumerator.
+
+    ``fn(term)`` returns every way ``sub`` matches ``term`` from an empty
+    binding, as a tuple of name/value pair tuples in enumeration order.
+    Non-trivial factors cache per interned ``term`` (entries evicted when
+    the term is collected).
+    """
+    if isinstance(sub, Wildcard):
+        return lambda t: _UNIT_FRAGS
+    if isinstance(sub, Var):
+        name = sub.name
+        return lambda t: (((name, t),),)
+    if sub.ground and not _has_bag(sub):
+        def enum_ground(t, _p=sub):
+            if t is _p or _p == t:
+                return _UNIT_FRAGS
+            return _NO_FRAGS
+        return enum_ground
+    skey = id(sub)
+    shared = _FRAG_ENUMS.get(skey)
+    if shared is not None:
+        return shared
+    is_gen, fn = _compile(sub)
+    cache: Dict[int, tuple] = {}
+
+    def enum(t):
+        key = id(t)
+        frags = cache.get(key)
+        if frags is None:
+            if is_gen:
+                frags = tuple(_chain_pairs(c) for c in fn(t, None, None))
+            else:
+                c = fn(t, None, None)
+                frags = (_chain_pairs(c),) if c is not _FAIL else _NO_FRAGS
+            cache[key] = frags
+            finalize(t, cache.pop, key, None)
+        return frags
+
+    _FRAG_ENUMS[skey] = enum
+    finalize(sub, _FRAG_ENUMS.pop, skey, None)
+    return enum
+
+
+def _generic_query(pattern: Term) -> Callable[[Term, Optional[Binding]], Iterator[Binding]]:
+    """The non-product compiled matcher: chains in, binding dicts out."""
+    is_gen, raw = _compile(pattern)
+    if is_gen:
+        fn = raw
+
+        def query(term, base):
+            for chain in fn(term, None, base):
+                yield _chain_to_dict(chain, base)
+    else:
+        det = raw
+
+        def query(term, base):
+            chain = det(term, None, base)
+            if chain is not _FAIL:
+                yield _chain_to_dict(chain, base)
+    return query
+
+
+def _group_frags(frags: tuple, names: tuple) -> dict:
+    """Group a factor's fragments by the values of its join names,
+    preserving fragment order within each group.
+
+    Join-name pairs are stripped from the stored fragments: the join
+    guarantees agreement up to ``==``, and the binding must keep the
+    *first* bound value (``_bind`` never rebinds), which may differ in
+    object identity (e.g. equal bags interned under different item
+    orders)."""
+    groups: dict = {}
+    if len(names) == 1:
+        nm = names[0]
+        for frag in frags:
+            key = None
+            rest = []
+            for pair in frag:
+                if pair[0] == nm:
+                    key = pair[1]
+                else:
+                    rest.append(pair)
+            groups.setdefault(key, []).append(tuple(rest))
+    else:
+        nmset = set(names)
+        for frag in frags:
+            d = dict(frag)
+            key = tuple(d[nm] for nm in names)
+            rest = tuple(p for p in frag if p[0] not in nmset)
+            groups.setdefault(key, []).append(rest)
+    return groups
+
+
+def _compile_product(pattern: Struct) -> Callable[[Term, Optional[Binding]], Iterable[Binding]]:
+    functor = pattern.functor
+    n = len(pattern.args)
+    rng = range(n)
+    # Split factors: a plain Var whose name appears in no other factor
+    # ("trivial") binds its component verbatim and never constrains the
+    # rest; wildcards contribute nothing.  Everything else participates in
+    # the joined partial product below.
+    name_count: Dict[str, int] = {}
+    factor_names = [variables_of(a) for a in pattern.args]
+    for names in factor_names:
+        for nm in names:
+            name_count[nm] = name_count.get(nm, 0) + 1
+    trivial: List[Tuple[str, int]] = []   # (var name, argument index)
+    nt_idx: List[int] = []
+    for i in rng:
+        a = pattern.args[i]
+        if isinstance(a, Wildcard):
+            continue
+        if isinstance(a, Var) and name_count[a.name] == 1:
+            trivial.append((a.name, i))
+            continue
+        nt_idx.append(i)
+    trivial_t = tuple(trivial)
+    nt_t = tuple(nt_idx)
+    nt_enums = tuple(_fragment_enum(pattern.args[i]) for i in nt_t)
+    # join_names[k]: factor k's variables already bound by an earlier
+    # non-trivial factor; matching is a left-to-right natural join.
+    bound_before: set = set()
+    join_names = []
+    for i in nt_t:
+        names = factor_names[i]
+        join_names.append(tuple(sorted(names & bound_before)))
+        bound_before |= names
+    join_names_t = tuple(join_names)
+    group_caches = tuple({} if jn else None for jn in join_names_t)
+    nt_rng = range(len(nt_t))
+    # The joined product over the non-trivial factors depends only on their
+    # target components — cached by their identity tuple, so a state whose
+    # relevant components are unchanged reuses the whole enumeration
+    # (including "no match").
+    partial_cache: Dict[tuple, tuple] = {}
+    generic: Optional[Callable[..., Any]] = None
+
+    def partials(args) -> tuple:
+        frag_lists = []
+        for k in nt_rng:
+            frags = nt_enums[k](args[nt_t[k]])
+            if not frags:
+                return _NO_FRAGS
+            frag_lists.append(frags)
+        # Breadth-wise product: extend the partial-binding list factor by
+        # factor.  List order equals depth-first backtracking order (each
+        # partial binding is extended by its fragments in fragment order),
+        # so enumeration order is identical to the naive nested loops.
+        envs: List[Binding] = [{}]
+        for k in nt_rng:
+            frags = frag_lists[k]
+            join = join_names_t[k]
+            if not join:
+                if len(frags) == 1:
+                    frag = frags[0]
+                    if frag:
+                        for env in envs:
+                            env.update(frag)
+                    continue
+                new: List[Binding] = []
+                last = len(frags) - 1
+                for env in envs:
+                    for j in range(last):
+                        e2 = dict(env)
+                        e2.update(frags[j])
+                        new.append(e2)
+                    env.update(frags[last])
+                    new.append(env)
+                envs = new
+                continue
+            if len(frags) == 1:
+                # One fragment: keep the partials that agree on the join
+                # names, binding the rest in place (discarded partials may
+                # keep a partial update — they are dropped entirely).
+                frag = frags[0]
+                new = []
+                for env in envs:
+                    for name, value in frag:
+                        cur = env.get(name, _UNBOUND)
+                        if cur is _UNBOUND:
+                            env[name] = value
+                        elif cur is value or cur == value:
+                            continue
+                        else:
+                            break
+                    else:
+                        new.append(env)
+                envs = new
+            else:
+                cache = group_caches[k]
+                targ = args[nt_t[k]]
+                tkey = id(targ)
+                groups = cache.get(tkey)
+                if groups is None:
+                    groups = _group_frags(frags, join)
+                    cache[tkey] = groups
+                    finalize(targ, cache.pop, tkey, None)
+                single = len(join) == 1
+                nm = join[0]
+                new = []
+                for env in envs:
+                    key = env[nm] if single else tuple(env[j] for j in join)
+                    bucket = groups.get(key)
+                    if not bucket:
+                        continue
+                    last = len(bucket) - 1
+                    for j in range(last):
+                        e2 = dict(env)
+                        e2.update(bucket[j])
+                        new.append(e2)
+                    env.update(bucket[last])
+                    new.append(env)
+                envs = new
+            if not envs:
+                return _NO_FRAGS
+        return tuple(tuple(e.items()) for e in envs)
+
+    def run(term, base):
+        nonlocal generic
+        if base:
+            # Pre-bound queries bypass the empty-binding fragment caches.
+            if generic is None:
+                generic = _generic_query(pattern)
+            return generic(term, base)
+        if not isinstance(term, Struct) or term.functor != functor:
+            return _NO_FRAGS
+        args = term.args
+        if len(args) != n:
+            return _NO_FRAGS
+        if nt_t:
+            ckey = tuple(map(id, args)) if len(nt_t) == n else \
+                tuple(id(args[i]) for i in nt_t)
+            parts = partial_cache.get(ckey)
+            if parts is None:
+                parts = partials(args)
+                partial_cache[ckey] = parts
+                for i in nt_t:
+                    finalize(args[i], partial_cache.pop, ckey, None)
+            if not parts:
+                return _NO_FRAGS
+        else:
+            parts = _UNIT_FRAGS
+        out = []
+        for pairs in parts:
+            env = dict(pairs)
+            for nm, i in trivial_t:
+                env[nm] = args[i]
+            out.append(env)
         return out
-    if existing == value:
-        return binding
-    return None
+
+    return run
+
+
+# Compiled-pattern cache, keyed by pattern *identity*: two ``==`` bags with
+# different item orders must keep their own (order-faithful) matchers, so an
+# equality-keyed cache would be wrong.  Interning already unifies patterns
+# built the same way.  Entries are evicted when the pattern is collected.
+_COMPILED: Dict[int, Callable[..., Any]] = {}
+
+
+def _det_as_gen(fn: Callable[..., Any]) -> Callable[..., Any]:
+    def run(term, chain, base):
+        c = fn(term, chain, base)
+        if c is not _FAIL:
+            yield c
+    return run
+
+
+def _compiled_top(pattern: Term) -> Callable[[Term, Optional[Binding]], Iterator[Binding]]:
+    key = id(pattern)
+    fn = _COMPILED.get(key)
+    if fn is None:
+        if (isinstance(pattern, Struct) and not pattern.ground
+                and len(pattern.args) > 1 and _has_bag(pattern)):
+            fn = _compile_product(pattern)
+        else:
+            fn = _generic_query(pattern)
+        if isinstance(pattern, (Atom, Struct, Seq, Bag)) and pattern.ground \
+                and not _has_bag(pattern):
+            # The ground matcher closes over the pattern itself; caching it
+            # would pin the cache key forever.  Compilation is trivial here.
+            return fn
+        _COMPILED[key] = fn
+        finalize(pattern, _COMPILED.pop, key, None)
+    return fn
+
+
+def compile_pattern(pattern: Term) -> Callable[..., Iterator[Binding]]:
+    """Compile ``pattern`` once; the returned callable is ``match`` bound to
+    it: ``compiled(term, binding=None)`` yields every matching binding."""
+    fn = _compiled_top(pattern)
+
+    def run(term: Term, binding: Optional[Binding] = None) -> Iterator[Binding]:
+        return fn(term, binding if binding else None)
+
+    return run
 
 
 def match(pattern: Term, term: Term, binding: Optional[Binding] = None) -> Iterator[Binding]:
@@ -51,96 +784,7 @@ def match(pattern: Term, term: Term, binding: Optional[Binding] = None) -> Itera
     ``term`` must be ground.  The same variable occurring twice must match
     equal subterms (non-linear patterns are supported).
     """
-    if binding is None:
-        binding = {}
-
-    if isinstance(pattern, Wildcard):
-        yield binding
-        return
-
-    if isinstance(pattern, Var):
-        extended = _bind(binding, pattern.name, term)
-        if extended is not None:
-            yield extended
-        return
-
-    if isinstance(pattern, Atom):
-        if isinstance(term, Atom) and pattern.value == term.value:
-            yield binding
-        return
-
-    if isinstance(pattern, Struct):
-        if (
-            isinstance(term, Struct)
-            and pattern.functor == term.functor
-            and len(pattern.args) == len(term.args)
-        ):
-            yield from _match_fixed(pattern.args, term.args, binding)
-        return
-
-    if isinstance(pattern, Seq):
-        if isinstance(term, Seq) and len(pattern.items) == len(term.items):
-            yield from _match_fixed(pattern.items, term.items, binding)
-        return
-
-    if isinstance(pattern, Bag):
-        if isinstance(term, Bag):
-            if term.rest is not None:
-                raise MatchError("cannot match against a bag pattern (term has a rest var)")
-            yield from _match_bag(pattern, term, binding)
-        return
-
-    raise TermError(f"unknown pattern type: {pattern!r}")
-
-
-def _match_fixed(patterns, terms, binding: Binding) -> Iterator[Binding]:
-    """Match parallel tuples of patterns/terms, threading bindings."""
-    if not patterns:
-        yield binding
-        return
-    head_p, rest_p = patterns[0], patterns[1:]
-    head_t, rest_t = terms[0], terms[1:]
-    for b in match(head_p, head_t, binding):
-        yield from _match_fixed(rest_p, rest_t, b)
-
-
-def _match_bag(pattern: Bag, term: Bag, binding: Binding) -> Iterator[Binding]:
-    """AC-match a bag pattern against a ground bag.
-
-    Each pattern element is matched against a distinct term element, in every
-    possible way; the remainder binds to ``pattern.rest`` when present, and
-    must be empty otherwise.
-    """
-    if pattern.rest is None and len(pattern.items) != len(term.items):
-        return
-    if len(pattern.items) > len(term.items):
-        return
-
-    def assign(p_idx: int, available: list, b: Binding) -> Iterator[Binding]:
-        if p_idx == len(pattern.items):
-            if pattern.rest is None:
-                if not available:
-                    yield b
-            else:
-                remainder = Bag([term.items[i] for i in available])
-                extended = _bind(b, pattern.rest.name, remainder)
-                if extended is not None:
-                    yield extended
-            return
-        p = pattern.items[p_idx]
-        seen = []
-        for pos, t_idx in enumerate(available):
-            t = term.items[t_idx]
-            # Skip duplicate candidates at the same pattern position: matching
-            # an identical element again can only reproduce the same bindings.
-            if any(t == s for s in seen):
-                continue
-            seen.append(t)
-            rest_avail = available[:pos] + available[pos + 1 :]
-            for b2 in match(p, t, b):
-                yield from assign(p_idx + 1, rest_avail, b2)
-
-    yield from assign(0, list(range(len(term.items))), binding)
+    return _compiled_top(pattern)(term, binding if binding else None)
 
 
 def match_first(pattern: Term, term: Term) -> Optional[Binding]:
@@ -152,11 +796,105 @@ def match_first(pattern: Term, term: Term) -> Optional[Binding]:
 
 def match_all(pattern: Term, term: Term) -> list:
     """Return all distinct bindings matching ``pattern`` to ``term``."""
-    out = []
+    out: list = []
     for b in match(pattern, term):
         if b not in out:
             out.append(b)
     return out
+
+
+# ---------------------------------------------------------------------------
+# RHS instantiation
+# ---------------------------------------------------------------------------
+
+def compile_builder(term: Term) -> Callable[[Binding], Term]:
+    """Compile ``term`` into a substitution skeleton.
+
+    The returned callable is ``substitute`` specialised to ``term``: ground
+    subterms are returned as-is (interning makes that exact, not just
+    equal), variables become dict lookups, and only the variable-carrying
+    spine is rebuilt per instantiation.
+    """
+    if not isinstance(term, Term):
+        raise TermError(f"unknown term type: {term!r}")
+    if term.ground:
+        return lambda b: term
+    if isinstance(term, Var):
+        def build_var(b, _name=term.name, _t=term):
+            v = b.get(_name, _UNBOUND)
+            return _t if v is _UNBOUND else v
+        return build_var
+    if isinstance(term, Wildcard):
+        return lambda b: term
+    if isinstance(term, Struct):
+        arg_fns = tuple(compile_builder(a) for a in term.args)
+
+        def build_struct(b, _f=term.functor, _fns=arg_fns):
+            return Struct(_f, [fn(b) for fn in _fns])
+        return build_struct
+    if isinstance(term, Seq):
+        item_fns = tuple(compile_builder(a) for a in term.items)
+
+        def build_seq(b, _fns=item_fns):
+            return Seq([fn(b) for fn in _fns])
+        return build_seq
+    if isinstance(term, Bag):
+        bag_fns = tuple(compile_builder(a) for a in term.items)
+        rest = term.rest
+        if rest is None:
+            def build_bag(b, _fns=bag_fns):
+                return Bag([fn(b) for fn in _fns])
+            return build_bag
+
+        def build_bag_rest(b, _fns=bag_fns, _rest=rest, _name=rest.name):
+            items = [fn(b) for fn in _fns]
+            bound = b.get(_name, _UNBOUND)
+            if bound is _UNBOUND:
+                return Bag(items, rest=_rest)
+            if not isinstance(bound, Bag):
+                raise MatchError(
+                    f"bag rest variable {_name!r} bound to non-bag {bound!r}"
+                )
+            items.extend(bound.items)
+            return Bag(items)
+        return build_bag_rest
+    raise TermError(f"unknown term type: {term!r}")
+
+
+def substitute(term: Term, binding: Binding) -> Term:
+    """Replace every variable in ``term`` with its image under ``binding``.
+
+    Unbound variables are left in place (the result is then still a
+    pattern).  A bag whose rest variable is bound to a bag is spliced flat;
+    a bound wildcard is impossible (wildcards never bind).
+    """
+    try:
+        if term.ground:
+            return term
+    except AttributeError:
+        raise TermError(f"unknown term type: {term!r}") from None
+    if isinstance(term, Wildcard):
+        return term
+    if isinstance(term, Var):
+        bound = binding.get(term.name, _UNBOUND)
+        return term if bound is _UNBOUND else bound
+    if isinstance(term, Struct):
+        return Struct(term.functor, [substitute(a, binding) for a in term.args])
+    if isinstance(term, Seq):
+        return Seq([substitute(a, binding) for a in term.items])
+    if isinstance(term, Bag):
+        items = [substitute(a, binding) for a in term.items]
+        if term.rest is not None:
+            bound = binding.get(term.rest.name, _UNBOUND)
+            if bound is _UNBOUND:
+                return Bag(items, rest=term.rest)
+            if not isinstance(bound, Bag):
+                raise MatchError(
+                    f"bag rest variable {term.rest.name!r} bound to non-bag {bound!r}"
+                )
+            items.extend(bound.items)
+        return Bag(items)
+    raise TermError(f"unknown term type: {term!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -295,33 +1033,3 @@ def _bags_overlap(a: Bag, b: Bag) -> bool:
         return False
 
     return assign(0, list(range(len(b.items))))
-
-
-def substitute(term: Term, binding: Binding) -> Term:
-    """Replace every variable in ``term`` with its image under ``binding``.
-
-    Unbound variables are left in place (the result is then still a
-    pattern).  A bag whose rest variable is bound to a bag is spliced flat;
-    a bound wildcard is impossible (wildcards never bind).
-    """
-    if isinstance(term, (Atom, Wildcard)):
-        return term
-    if isinstance(term, Var):
-        return binding.get(term.name, term)
-    if isinstance(term, Struct):
-        return Struct(term.functor, tuple(substitute(a, binding) for a in term.args))
-    if isinstance(term, Seq):
-        return Seq(tuple(substitute(a, binding) for a in term.items))
-    if isinstance(term, Bag):
-        items = [substitute(a, binding) for a in term.items]
-        if term.rest is not None:
-            bound = binding.get(term.rest.name)
-            if bound is None:
-                return Bag(items, rest=term.rest)
-            if not isinstance(bound, Bag):
-                raise MatchError(
-                    f"bag rest variable {term.rest.name!r} bound to non-bag {bound!r}"
-                )
-            items.extend(bound.items)
-        return Bag(items)
-    raise TermError(f"unknown term type: {term!r}")

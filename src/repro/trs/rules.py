@@ -24,8 +24,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import RuleError
-from repro.trs.matching import Binding, match, substitute
-from repro.trs.terms import Term, is_ground, variables_of
+from repro.trs.matching import Binding, compile_builder, compile_pattern
+from repro.trs.terms import Term, variables_of
 
 __all__ = ["Rule", "RuleSet", "RuleContext"]
 
@@ -91,6 +91,11 @@ class Rule:
                 f"rule {name!r} has free RHS variables {sorted(self._rhs_free)} "
                 "but no where-clause or choices to bind them"
             )
+        # Compile once: the LHS becomes a closure pipeline over the state
+        # (indexed AC matching for bag parts), the RHS a substitution
+        # skeleton that rebuilds only the variable-carrying spine.
+        self._matcher = compile_pattern(lhs)
+        self._builder = compile_builder(rhs)
 
     def instantiations(self, state: Term, ctx: RuleContext) -> Iterator[Binding]:
         """Yield every binding under which this rule applies to ``state``.
@@ -100,7 +105,14 @@ class Rule:
         *not* run here (they may be effectful via the context) — they run at
         application time in :meth:`apply`.
         """
-        for binding in match(self.lhs, state):
+        if self.choices is None and self.guard is None:
+            # Fast path for the common unguarded, choice-free rule: the
+            # matcher's bindings are the instantiations verbatim.
+            return self._matcher(state)
+        return self._expand(state, ctx)
+
+    def _expand(self, state: Term, ctx: RuleContext) -> Iterator[Binding]:
+        for binding in self._matcher(state):
             if self.choices is None:
                 expansions = [binding]
             else:
@@ -133,8 +145,8 @@ class Rule:
                 f"rule {self.name!r}: where-clause left RHS variables unbound: "
                 f"{sorted(missing)}"
             )
-        result = substitute(self.rhs, full)
-        if not is_ground(result):
+        result = self._builder(full)
+        if not result.ground:
             raise RuleError(
                 f"rule {self.name!r} produced a non-ground state: {result!r}"
             )

@@ -18,14 +18,27 @@ the term constructors used to encode system states:
   variable capturing the unmatched remainder, which is how the paper writes
   ``Q | (x, d_x)`` with the set variable ``Q``.
 
-Terms are immutable and hashable (bags hash via a sorted multiset key), so
-they can be stored in sets and used as dictionary keys when exploring
-reachable state spaces.
+Terms are immutable, hashable, and **hash-consed**: every constructor
+interns its result in a per-class weak table keyed by the identities of the
+children (and by value/name for leaves), so constructing the same term from
+the same child objects returns the same canonical object.  Hashes and the
+``ground`` flag are computed once at construction, equality starts with an
+identity check, and bags carry a cached multiset fingerprint so semantic
+(AC) equality needs no sorting or repeated deep walks.
+
+The intern keys for containers are *order-sensitive* on purpose: a bag's
+item tuple keeps exactly the order it was built with, so pattern-match
+enumeration order — and therefore every seeded random reduction — is
+bit-identical to the pre-interning engine.  Interning only collapses
+*reconstructions of the same ordered term* into one object; it never
+reorders anything (see DESIGN.md §8).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Tuple
+from collections import Counter
+from typing import Any, ClassVar, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+from weakref import WeakValueDictionary
 
 from repro.errors import TermError
 
@@ -43,18 +56,52 @@ __all__ = [
     "seq",
     "bag",
     "is_ground",
+    "intern_stats",
     "variables_of",
 ]
 
 
 class Term:
-    """Abstract base class for all terms."""
+    """Abstract base class for all terms.
 
-    __slots__ = ()
+    Subclasses populate ``_hash`` (the precomputed structural hash) and
+    ``ground`` (True when the term contains no variables or wildcards) in
+    ``__new__``; both are read-only caches, never recomputed.
+    """
+
+    __slots__ = ("__weakref__", "_hash", "ground")
+
+    _hash: int
+    ground: bool
 
     def is_pattern(self) -> bool:
         """Return True when the term contains variables or wildcards."""
-        return not is_ground(self)
+        return not self.ground
+
+
+# Interning tables.  Values are held weakly: a term stays interned exactly
+# as long as something outside the table references it.  Container keys use
+# child *identities* (``id``), which is sound because the interned value
+# holds strong references to its children — a live entry pins its children,
+# so a key can never refer to a recycled id.
+_ATOMS: "WeakValueDictionary[Tuple[type, Any], Atom]" = WeakValueDictionary()
+_VARS: "WeakValueDictionary[str, Var]" = WeakValueDictionary()
+_STRUCTS: "WeakValueDictionary[Tuple[str, Tuple[int, ...]], Struct]" = (
+    WeakValueDictionary()
+)
+_SEQS: "WeakValueDictionary[Tuple[int, ...], Seq]" = WeakValueDictionary()
+_BAGS: "WeakValueDictionary[Tuple[Tuple[int, ...], int], Bag]" = WeakValueDictionary()
+
+
+def intern_stats() -> Dict[str, int]:
+    """Live entry counts of the per-class intern tables (diagnostics)."""
+    return {
+        "atoms": len(_ATOMS),
+        "vars": len(_VARS),
+        "structs": len(_STRUCTS),
+        "seqs": len(_SEQS),
+        "bags": len(_BAGS),
+    }
 
 
 class Atom(Term):
@@ -66,18 +113,38 @@ class Atom(Term):
 
     __slots__ = ("value",)
 
-    def __init__(self, value) -> None:
-        try:
-            hash(value)
-        except TypeError:
-            raise TermError(f"Atom value must be hashable, got {value!r}")
-        self.value = value
+    value: Any
 
-    def __eq__(self, other) -> bool:
+    def __new__(cls, value: Any) -> "Atom":
+        try:
+            h = hash(("Atom", value))
+        except TypeError:
+            raise TermError(f"Atom value must be hashable, got {value!r}") from None
+        # Key by (class, value) rather than value alone so 1/True/1.0 keep
+        # their own canonical atoms (they stay `==` via the value fallback).
+        key = (value.__class__, value)
+        if cls is Atom:
+            cached = _ATOMS.get(key)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
+        self.value = value
+        self.ground = True
+        self._hash = h
+        if cls is Atom:
+            _ATOMS[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Atom) and self.value == other.value
 
     def __hash__(self) -> int:
-        return hash(("Atom", self.value))
+        return self._hash
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (Atom, (self.value,))
 
     def __repr__(self) -> str:
         return f"Atom({self.value!r})"
@@ -88,16 +155,33 @@ class Var(Term):
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str) -> None:
+    name: str
+
+    def __new__(cls, name: str) -> "Var":
         if not name or not isinstance(name, str):
             raise TermError(f"Var name must be a non-empty string, got {name!r}")
+        if cls is Var:
+            cached = _VARS.get(name)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
         self.name = name
+        self.ground = False
+        self._hash = hash(("Var", name))
+        if cls is Var:
+            _VARS[name] = self
+        return self
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Var) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash(("Var", self.name))
+        return self._hash
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (Var, (self.name,))
 
     def __repr__(self) -> str:
         return f"Var({self.name!r})"
@@ -108,11 +192,28 @@ class Wildcard(Term):
 
     __slots__ = ()
 
-    def __eq__(self, other) -> bool:
+    _instance: ClassVar[Optional["Wildcard"]] = None
+
+    def __new__(cls) -> "Wildcard":
+        if cls is Wildcard:
+            cached = Wildcard._instance
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
+        self.ground = False
+        self._hash = hash("Wildcard")
+        if cls is Wildcard:
+            Wildcard._instance = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Wildcard)
 
     def __hash__(self) -> int:
-        return hash("Wildcard")
+        return self._hash
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (Wildcard, ())
 
     def __repr__(self) -> str:
         return "_"
@@ -123,25 +224,48 @@ class Struct(Term):
 
     __slots__ = ("functor", "args")
 
-    def __init__(self, functor: str, args: Iterable[Term] = ()) -> None:
+    functor: str
+    args: Tuple[Term, ...]
+
+    def __new__(cls, functor: str, args: Iterable[Term] = ()) -> "Struct":
         if not isinstance(functor, str) or not functor:
             raise TermError(f"Struct functor must be a non-empty string, got {functor!r}")
-        args = tuple(args)
-        for a in args:
+        args_t = tuple(args)
+        key = (functor, tuple(map(id, args_t)))
+        if cls is Struct:
+            cached = _STRUCTS.get(key)
+            if cached is not None:
+                return cached
+        ground = True
+        for a in args_t:
             if not isinstance(a, Term):
                 raise TermError(f"Struct argument must be a Term, got {a!r}")
+            if not a.ground:
+                ground = False
+        self = super().__new__(cls)
         self.functor = functor
-        self.args = args
+        self.args = args_t
+        self.ground = ground
+        self._hash = hash(("Struct", functor, args_t))
+        if cls is Struct:
+            _STRUCTS[key] = self
+        return self
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Struct)
+            and self._hash == other._hash
             and self.functor == other.functor
             and self.args == other.args
         )
 
     def __hash__(self) -> int:
-        return hash(("Struct", self.functor, self.args))
+        return self._hash
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (Struct, (self.functor, self.args))
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.args)
@@ -153,12 +277,28 @@ class Seq(Term):
 
     __slots__ = ("items",)
 
-    def __init__(self, items: Iterable[Term] = ()) -> None:
-        items = tuple(items)
-        for a in items:
+    items: Tuple[Term, ...]
+
+    def __new__(cls, items: Iterable[Term] = ()) -> "Seq":
+        items_t = tuple(items)
+        key = tuple(map(id, items_t))
+        if cls is Seq:
+            cached = _SEQS.get(key)
+            if cached is not None:
+                return cached
+        ground = True
+        for a in items_t:
             if not isinstance(a, Term):
                 raise TermError(f"Seq item must be a Term, got {a!r}")
-        self.items = items
+            if not a.ground:
+                ground = False
+        self = super().__new__(cls)
+        self.items = items_t
+        self.ground = ground
+        self._hash = hash(("Seq", items_t))
+        if cls is Seq:
+            _SEQS[key] = self
+        return self
 
     def append(self, item: Term) -> "Seq":
         """Return a new sequence with ``item`` appended (the ``⊕`` operator)."""
@@ -177,9 +317,12 @@ class Seq(Term):
         """Return True when this sequence is a prefix of ``other``."""
         if not isinstance(other, Seq):
             raise TermError(f"is_prefix_of expects a Seq, got {other!r}")
-        if len(self.items) > len(other.items):
+        if self is other:
+            return True
+        mine = self.items
+        if len(mine) > len(other.items):
             return False
-        return self.items == other.items[: len(self.items)]
+        return mine == other.items[: len(mine)]
 
     def __len__(self) -> int:
         return len(self.items)
@@ -187,20 +330,24 @@ class Seq(Term):
     def __iter__(self) -> Iterator[Term]:
         return iter(self.items)
 
-    def __eq__(self, other) -> bool:
-        return isinstance(other, Seq) and self.items == other.items
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, Seq)
+            and self._hash == other._hash
+            and self.items == other.items
+        )
 
     def __hash__(self) -> int:
-        return hash(("Seq", self.items))
+        return self._hash
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (Seq, (self.items,))
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.items)
         return f"Seq[{inner}]"
-
-
-def _multiset_key(items: Tuple[Term, ...]) -> Tuple:
-    """A canonical, order-independent key for a collection of terms."""
-    return tuple(sorted((repr(i) for i in items)))
 
 
 class Bag(Term):
@@ -210,11 +357,27 @@ class Bag(Term):
     pattern ``Bag([(x, d_x)], rest=Var("Q"))`` encodes the paper's
     ``Q | (x, d_x)`` and binds ``Q`` to the remainder multiset (as a Bag).
     Ground bags (states) must not have a rest variable.
+
+    Although equality and hashing are order-insensitive (multiset
+    semantics), the ``items`` tuple preserves construction order and the
+    intern key is order-sensitive — matching enumerates candidates in
+    ``items`` order, exactly as before interning.  The hash folds the
+    items' cached hashes with a commutative sum, so it needs no sorting;
+    the exact multiset fingerprint (``_fp``) is built lazily, only when a
+    non-identical candidate survives the hash filter in ``__eq__`` —
+    ephemeral bags (match remainders) never pay for it.  ``_index`` caches
+    the discrimination index lazily built by :mod:`repro.trs.matching`
+    for ground bags.
     """
 
-    __slots__ = ("items", "rest")
+    __slots__ = ("items", "rest", "_fp", "_index")
 
-    def __init__(self, items: Iterable[Term] = (), rest: Optional[Var] = None) -> None:
+    items: Tuple[Term, ...]
+    rest: Optional[Var]
+    _fp: Optional[FrozenSet[Tuple[Term, int]]]
+    _index: Optional[Dict[Any, Any]]
+
+    def __new__(cls, items: Iterable[Term] = (), rest: Optional[Var] = None) -> "Bag":
         flat = []
         for a in items:
             if not isinstance(a, Term):
@@ -225,8 +388,42 @@ class Bag(Term):
                 flat.append(a)
         if rest is not None and not isinstance(rest, Var):
             raise TermError(f"Bag rest must be a Var or None, got {rest!r}")
-        self.items = tuple(flat)
+        items_t = tuple(flat)
+        key = (tuple(map(id, items_t)), id(rest))
+        if cls is Bag:
+            cached = _BAGS.get(key)
+            if cached is not None:
+                return cached
+        ground = rest is None
+        acc = 0
+        if ground:
+            for a in items_t:
+                if not a.ground:
+                    ground = False
+                acc += a._hash
+        else:
+            for a in items_t:
+                acc += a._hash
+        self = super().__new__(cls)
+        self.items = items_t
         self.rest = rest
+        self.ground = ground
+        self._fp = None
+        self._hash = hash(("Bag", len(items_t), acc, rest))
+        self._index = None
+        if cls is Bag:
+            _BAGS[key] = self
+        return self
+
+    @property
+    def fingerprint(self) -> FrozenSet[Tuple[Term, int]]:
+        """The exact multiset fingerprint ``{(item, multiplicity)}``
+        (computed on first use, cached on the interned term)."""
+        fp = self._fp
+        if fp is None:
+            fp = frozenset(Counter(self.items).items())
+            self._fp = fp
+        return fp
 
     def add(self, item: Term) -> "Bag":
         """Return a new bag with ``item`` added."""
@@ -242,7 +439,7 @@ class Bag(Term):
         try:
             items.remove(item)
         except ValueError:
-            raise TermError(f"bag does not contain {item!r}")
+            raise TermError(f"bag does not contain {item!r}") from None
         return Bag(items)
 
     def union(self, other: "Bag") -> "Bag":
@@ -261,26 +458,25 @@ class Bag(Term):
     def __iter__(self) -> Iterator[Term]:
         return iter(self.items)
 
-    def __contains__(self, item) -> bool:
+    def __contains__(self, item: object) -> bool:
         return any(i == item for i in self.items)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Bag):
             return False
-        if self.rest != other.rest:
+        if self._hash != other._hash or self.rest != other.rest:
             return False
-        if len(self.items) != len(other.items):
-            return False
-        remaining = list(other.items)
-        for i in self.items:
-            try:
-                remaining.remove(i)
-            except ValueError:
-                return False
-        return True
+        if self.items == other.items:
+            return True
+        return self.fingerprint == other.fingerprint
 
     def __hash__(self) -> int:
-        return hash(("Bag", _multiset_key(self.items), self.rest))
+        return self._hash
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (Bag, (self.items, self.rest))
 
     def __repr__(self) -> str:
         inner = " | ".join(repr(a) for a in self.items)
@@ -293,7 +489,7 @@ class Bag(Term):
 # Convenience constructors
 # ---------------------------------------------------------------------------
 
-def atom(value) -> Atom:
+def atom(value: Any) -> Atom:
     """Shorthand for :class:`Atom`."""
     return Atom(value)
 
@@ -320,26 +516,19 @@ def bag(*items: Term, rest: Optional[Var] = None) -> Bag:
 
 def is_ground(term: Term) -> bool:
     """Return True when ``term`` contains no variables or wildcards."""
-    if isinstance(term, (Var, Wildcard)):
-        return False
-    if isinstance(term, Atom):
-        return True
-    if isinstance(term, Struct):
-        return all(is_ground(a) for a in term.args)
-    if isinstance(term, Seq):
-        return all(is_ground(a) for a in term.items)
-    if isinstance(term, Bag):
-        if term.rest is not None:
-            return False
-        return all(is_ground(a) for a in term.items)
-    raise TermError(f"unknown term type: {term!r}")
+    try:
+        return term.ground
+    except AttributeError:
+        raise TermError(f"unknown term type: {term!r}") from None
 
 
-def variables_of(term: Term) -> frozenset:
+def variables_of(term: Term) -> FrozenSet[str]:
     """Return the set of variable names occurring in ``term``."""
-    names = set()
+    names: set = set()
 
     def walk(t: Term) -> None:
+        if t.ground:
+            return
         if isinstance(t, Var):
             names.add(t.name)
         elif isinstance(t, Struct):

@@ -18,7 +18,7 @@ from repro.specs import (
     system_token,
 )
 from repro.specs.modelcheck import (bound_data, bound_requests,
-                                    bound_visits, explore)
+                                    bound_visits, explore, explore_graph)
 from repro.specs.properties import prefix_property, token_uniqueness
 from repro.trs.engine import Rewriter
 from repro.trs.rules import RuleContext
@@ -177,3 +177,28 @@ class TestMachinery:
         states = rw.reachable(bs.initial_state(2), max_states=5000)
         from repro.specs.modelcheck import _count_visits
         assert all(_count_visits(s) <= 2 * 4 for s in states)
+
+
+class TestGraphCountsPinned:
+    """Exact state/transition counts of two bounded explorations, pinned
+    as a behaviour checksum over the matcher/engine stack: any change to
+    rule enumeration (a lost match, a duplicate successor) moves these
+    numbers before it would surface anywhere else."""
+
+    def test_system_token_n3_graph(self):
+        rw, init = system_token.make_system(3)
+        rules = bound_data(rw.ruleset, 1)
+        states, edges, complete = explore_graph(
+            Rewriter(rules), init, max_states=20_000)
+        transitions = sum(len(succ) for succ in edges.values())
+        assert (len(states), transitions, complete) == (492, 1764, True)
+
+    def test_binary_search_n3_graph(self):
+        rw, init = bs.make_system(3)
+        rules = bound_data(rw.ruleset, 1, nodes=[2])
+        rules = bound_requests(rules, "5")
+        rules = bound_visits(rules, 5, "4")
+        states, edges, complete = explore_graph(
+            Rewriter(rules), init, max_states=20_000)
+        transitions = sum(len(succ) for succ in edges.values())
+        assert (len(states), transitions, complete) == (250, 393, True)

@@ -1,0 +1,311 @@
+"""Differential tests for the indexed AC matcher.
+
+The matcher in :mod:`repro.trs.matching` compiles patterns into closures
+backed by a per-bag discrimination index, binding chains, and (for
+top-level struct patterns) a cached fragment product.  Its contract is
+that all of that machinery is *invisible*: the enumeration — which
+bindings, in which order — is bit-identical to naive left-to-right
+backtracking over bag items in construction order.
+
+``ref_match`` below IS that naive matcher (dict copies, no index, no
+cache, no chains), so every test here asserts exact list equality between
+the two paths on the edge cases where an index shortcut could plausibly
+diverge: non-linear variables spanning bag elements, rest variables
+capturing the empty multiset, duplicate elements, and wildcards.
+"""
+
+from repro.trs.matching import match, match_first
+from repro.trs.terms import Atom, Bag, Seq, Struct, Var, Wildcard
+
+
+# ---------------------------------------------------------------------------
+# Reference matcher: the documented semantics, implemented as naively as
+# possible.  Pattern elements assign left to right; candidates are visited
+# in bag item order; equal candidates are skipped at the same pattern
+# position (re-matching an identical element reproduces the same
+# bindings); the remainder binds ``rest``, which without a rest var must
+# be empty.
+# ---------------------------------------------------------------------------
+
+
+def ref_match(pattern, term, binding=None):
+    return list(_ref(pattern, term, dict(binding or {})))
+
+
+def _ref(pattern, term, binding):
+    if isinstance(pattern, Wildcard):
+        yield binding
+    elif isinstance(pattern, Var):
+        if pattern.name not in binding:
+            extended = dict(binding)
+            extended[pattern.name] = term
+            yield extended
+        elif binding[pattern.name] == term:
+            yield binding
+    elif isinstance(pattern, Atom):
+        if pattern == term:
+            yield binding
+    elif isinstance(pattern, Struct):
+        if (isinstance(term, Struct) and term.functor == pattern.functor
+                and len(term.args) == len(pattern.args)):
+            yield from _ref_tuple(pattern.args, term.args, binding)
+    elif isinstance(pattern, Seq):
+        if isinstance(term, Seq) and len(term.items) == len(pattern.items):
+            yield from _ref_tuple(pattern.items, term.items, binding)
+    elif isinstance(pattern, Bag):
+        if isinstance(term, Bag):
+            yield from _ref_bag(pattern, term, binding)
+
+
+def _ref_tuple(patterns, terms, binding):
+    if not patterns:
+        yield binding
+        return
+    for extended in _ref(patterns[0], terms[0], binding):
+        yield from _ref_tuple(patterns[1:], terms[1:], extended)
+
+
+def _ref_bag(pattern, term, binding):
+    items = term.items
+    n_pat, n_items = len(pattern.items), len(items)
+    if pattern.rest is None and n_pat != n_items:
+        return
+    if pattern.rest is not None and n_pat > n_items:
+        return
+
+    def assign(i, used, b):
+        if i == n_pat:
+            if pattern.rest is None:
+                yield b
+                return
+            remainder = Bag([items[k] for k in range(n_items)
+                             if k not in used])
+            name = pattern.rest.name
+            if name in b:
+                if b[name] == remainder:
+                    yield b
+            else:
+                extended = dict(b)
+                extended[name] = remainder
+                yield extended
+            return
+        tried = []
+        for pos in range(n_items):
+            if pos in used:
+                continue
+            candidate = items[pos]
+            if any(candidate == earlier for earlier in tried):
+                continue
+            tried.append(candidate)
+            for extended in _ref(pattern.items[i], candidate, b):
+                yield from assign(i + 1, used | {pos}, extended)
+
+    yield from assign(0, frozenset(), binding)
+
+
+def assert_identical(pattern, term, binding=None):
+    """The indexed path and the reference path enumerate the same bindings
+    in the same order (dict equality is insertion-order-blind, which is
+    deliberate: key order inside one binding is not part of the contract)."""
+    indexed = list(match(pattern, term, dict(binding) if binding else None))
+    reference = ref_match(pattern, term, binding)
+    assert indexed == reference
+    return indexed
+
+
+def f(*args):
+    return Struct("f", [a if isinstance(a, (Var, Wildcard)) else Atom(a)
+                        for a in args])
+
+
+def g(*args):
+    return Struct("g", [a if isinstance(a, (Var, Wildcard)) else Atom(a)
+                        for a in args])
+
+
+class TestNonLinearAcrossElements:
+    """One variable shared by several bag-element subpatterns: the second
+    occurrence must filter on the value the first occurrence bound."""
+
+    def test_shared_first_argument(self):
+        target = Bag([f(i % 3, i) for i in range(9)])
+        pattern = Bag([f(Var("a"), Var("b")), f(Var("a"), Var("c"))],
+                      rest=Var("R"))
+        results = assert_identical(pattern, target)
+        # 3 groups x 3 elements x 2 ordered partners each.
+        assert len(results) == 18
+        for m in results:
+            assert m["b"] != m["c"]
+
+    def test_join_across_functors(self):
+        target = Bag([f(i % 4, i) for i in range(8)] + [g(2), g(3)])
+        pattern = Bag([f(Var("a"), Var("b")), g(Var("a"))], rest=Var("R"))
+        results = assert_identical(pattern, target)
+        assert {m["a"] for m in results} == {Atom(2), Atom(3)}
+
+    def test_triple_occurrence(self):
+        target = Bag([f(1, i) for i in range(4)] + [f(2, 9)])
+        pattern = Bag([f(Var("a"), Wildcard()), f(Var("a"), Wildcard()),
+                       f(Var("a"), Wildcard())], rest=Var("R"))
+        results = assert_identical(pattern, target)
+        assert all(m["a"] == Atom(1) for m in results)
+
+    def test_variable_spanning_struct_and_bare_element(self):
+        target = Bag([f(7, 1), Atom(7), Atom(8)])
+        pattern = Bag([f(Var("a"), Var("b")), Var("a")], rest=Var("R"))
+        results = assert_identical(pattern, target)
+        assert len(results) == 1
+        assert results[0]["R"] == Bag([Atom(8)])
+
+
+class TestEmptyRest:
+    """A rest variable must capture the *empty* multiset when the fixed
+    elements consume the whole bag — and unify with it on reuse."""
+
+    def test_rest_binds_empty_bag(self):
+        target = Bag([f(1, 2)])
+        results = assert_identical(
+            Bag([f(Var("a"), Var("b"))], rest=Var("R")), target)
+        assert len(results) == 1
+        assert results[0]["R"] == Bag([])
+
+    def test_prebound_empty_rest_accepted(self):
+        target = Bag([f(1, 2)])
+        pattern = Bag([f(Var("a"), Var("b"))], rest=Var("R"))
+        results = assert_identical(pattern, target, {"R": Bag([])})
+        assert len(results) == 1
+
+    def test_prebound_nonempty_rest_rejected_when_remainder_empty(self):
+        target = Bag([f(1, 2)])
+        pattern = Bag([f(Var("a"), Var("b"))], rest=Var("R"))
+        assert_identical(pattern, target, {"R": Bag([Atom(9)])}) == []
+
+    def test_empty_pattern_empty_target(self):
+        results = assert_identical(Bag([], rest=Var("R")), Bag([]))
+        assert results == [{"R": Bag([])}]
+
+    def test_rest_shared_between_two_bags(self):
+        # The same rest variable in two bag arguments: the second bag's
+        # remainder must equal the first's.
+        pattern = Struct("p", [Bag([Var("x")], rest=Var("R")),
+                               Bag([Var("y")], rest=Var("R"))])
+        same = Struct("p", [Bag([Atom(1), Atom(2)]), Bag([Atom(3), Atom(2)])])
+        results = assert_identical(pattern, same)
+        assert results == [{"x": Atom(1), "R": Bag([Atom(2)]), "y": Atom(3)}]
+        different = Struct("p", [Bag([Atom(1), Atom(2)]),
+                                 Bag([Atom(3), Atom(4)])])
+        assert assert_identical(pattern, different) == []
+
+
+class TestDuplicateElements:
+    """Equal bag elements are matched once per pattern position — the
+    enumeration must not multiply-count them, with or without the index."""
+
+    def test_duplicates_counted_once_per_position(self):
+        target = Bag([f(1, 1), f(1, 1), f(2, 2)])
+        pattern = Bag([f(Var("a"), Var("b"))], rest=Var("R"))
+        results = assert_identical(pattern, target)
+        # f(1,1) yields ONE match despite appearing twice.
+        assert len(results) == 2
+
+    def test_nonlinear_pair_over_duplicates(self):
+        target = Bag([f(1, 1), f(1, 1), f(1, 2)])
+        pattern = Bag([f(Var("a"), Var("b")), f(Var("a"), Var("c"))],
+                      rest=Var("R"))
+        results = assert_identical(pattern, target)
+        # Distinct (b, c) value pairs only: (1,1), (1,2), (2,1).
+        assert len(results) == 3
+
+    def test_exact_match_with_duplicates(self):
+        target = Bag([Atom(5), Atom(5)])
+        assert_identical(Bag([Var("x"), Var("y")]), target)
+        assert_identical(Bag([Atom(5), Var("y")]), target)
+
+
+class TestWildcards:
+    def test_wildcard_element_matches_every_position_once(self):
+        target = Bag([f(1, 1), f(2, 2), g(3)])
+        results = assert_identical(Bag([Wildcard()], rest=Var("R")), target)
+        assert len(results) == 3
+
+    def test_wildcard_inside_element(self):
+        target = Bag([f(1, 1), f(2, 2), g(3)])
+        results = assert_identical(
+            Bag([f(Wildcard(), Var("b"))], rest=Var("R")), target)
+        assert [m["b"] for m in results] == [Atom(1), Atom(2)]
+
+    def test_all_wildcards_no_rest(self):
+        target = Bag([Atom(1), Atom(2)])
+        results = assert_identical(Bag([Wildcard(), Wildcard()]), target)
+        assert results == [{}, {}]
+
+
+class TestProductPath:
+    """Top-level struct patterns over bag components take the cached
+    fragment-product path; it must agree with the reference matcher too."""
+
+    def test_two_bag_components_with_join(self):
+        pattern = Struct("S", [Bag([f(Var("x"), Var("d"))], rest=Var("Q")),
+                               Bag([g(Var("x"))], rest=Var("O")),
+                               Var("t")])
+        state = Struct("S", [Bag([f(0, 10), f(1, 11), f(2, 12)]),
+                             Bag([g(1), g(2)]),
+                             Atom(99)])
+        results = assert_identical(pattern, state)
+        assert {m["x"] for m in results} == {Atom(1), Atom(2)}
+
+    def test_product_path_repeated_on_shared_components(self):
+        # Successive states sharing interned components exercise the
+        # fragment cache; enumeration must stay identical each time.
+        shared = Bag([g(1), g(2)])
+        pattern = Struct("S", [Bag([f(Var("x"), Var("d"))], rest=Var("Q")),
+                               Bag([g(Var("x"))], rest=Var("O")),
+                               Var("t")])
+        for k in range(3):
+            state = Struct("S", [Bag([f(1, k), f(2, k + 1)]), shared,
+                                 Atom(k)])
+            assert_identical(pattern, state)
+
+    def test_no_match_is_cached_consistently(self):
+        pattern = Struct("S", [Bag([f(Var("x"), Var("d"))], rest=Var("Q")),
+                               Var("t")])
+        state = Struct("S", [Bag([g(1)]), Atom(0)])
+        for _ in range(2):
+            assert assert_identical(pattern, state) == []
+
+
+class TestUnboundVsFalsy:
+    """Regression: bindings must distinguish "unbound" from "bound to a
+    falsy term".  An empty Bag/Seq is falsy under ``len``; a matcher that
+    tests ``binding.get(name)`` for truth instead of presence would treat
+    a variable bound to one as rebindable."""
+
+    def test_nonlinear_var_bound_to_empty_bag(self):
+        pattern = Struct("p", [Var("X"), Var("X")])
+        assert match_first(pattern,
+                           Struct("p", [Bag([]), Bag([])])) == {"X": Bag([])}
+        # The second occurrence must NOT rebind: X is bound (to an empty,
+        # falsy bag), so a different second argument is a mismatch.
+        assert match_first(pattern,
+                           Struct("p", [Bag([]), Atom(1)])) is None
+
+    def test_nonlinear_var_bound_to_empty_seq(self):
+        pattern = Struct("p", [Var("X"), Var("X")])
+        assert match_first(pattern,
+                           Struct("p", [Seq([]), Seq([])])) == {"X": Seq([])}
+        assert match_first(pattern,
+                           Struct("p", [Seq([]), Seq([Atom(1)])])) is None
+
+    def test_base_binding_with_falsy_value_is_respected(self):
+        results = list(match(Var("X"), Atom(1), {"X": Bag([])}))
+        assert results == []
+        results = list(match(Var("X"), Bag([]), {"X": Bag([])}))
+        assert results == [{"X": Bag([])}]
+
+    def test_empty_rest_then_reuse_in_later_component(self):
+        pattern = Struct("p", [Bag([Var("x")], rest=Var("R")), Var("R")])
+        term = Struct("p", [Bag([Atom(1)]), Bag([])])
+        assert_identical(pattern, term)
+        assert match_first(pattern, term) == {"x": Atom(1), "R": Bag([])}
+        mismatched = Struct("p", [Bag([Atom(1)]), Bag([Atom(2)])])
+        assert match_first(pattern, mismatched) is None
