@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro``):
     python -m repro lint [--json --strict --max-states 300]
     python -m repro bench [--json --rounds 40 --out DIR]
     python -m repro bench --validate --compare benchmarks/baselines/BENCH_<stamp>.json
+    python -m repro fuzz [--seed 2001 --runs 50 --profile mixed]
+    python -m repro fuzz --replay tests/fuzz/corpus/<case>.json
 
 Sweep commands accept ``--jobs N`` (or the ``REPRO_JOBS`` environment
 variable) to fan independent cells out over N worker processes; the output
@@ -149,6 +151,27 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="NAME",
                       help="lint only this system (repeatable; implies "
                            "--skip-dynamic)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="randomized schedule/fault exploration with invariant "
+             "checking, shrinking, and deterministic replay")
+    fuzz.add_argument("--seed", type=int, default=2001,
+                      help="root seed every case derives from (default 2001)")
+    fuzz.add_argument("--runs", type=int, default=50,
+                      help="number of cases to generate and run (default 50)")
+    fuzz.add_argument("--profile", default="mixed",
+                      choices=("clean", "faults", "spec", "mixed"),
+                      help="case mix (default mixed)")
+    fuzz.add_argument("--replay", metavar="FILE", default=None,
+                      help="replay one saved case file instead of fuzzing; "
+                           "exits nonzero unless the recorded outcome "
+                           "reproduces exactly")
+    fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                      help="report violations without minimizing them")
+    fuzz.add_argument("--out", metavar="DIR", default="fuzz-failures",
+                      help="directory for counterexample files "
+                           "(default fuzz-failures/)")
     return parser
 
 
@@ -459,6 +482,59 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok(strict=args.strict) else 1
 
 
+def _cmd_fuzz(args) -> int:
+    import os
+
+    from repro.fuzz import FuzzCase, fuzz_run, run_case, shrink
+
+    if args.replay:
+        case, recorded = FuzzCase.load(args.replay)
+        result = run_case(case)
+        status = "ok" if result.ok else \
+            f"VIOLATION {result.violation.get('invariant')}"
+        print(f"replay {args.replay}: {status} "
+              f"checksum={result.checksum} events={result.events}")
+        if recorded is None:
+            return 0 if result.ok else 1
+        if result.matches(recorded):
+            print("recorded outcome reproduced exactly")
+            return 0
+        print(f"MISMATCH: recorded {recorded}, got {result.outcome()}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+
+    def _capture(index, case, result):
+        label = case.label or case.kind
+        if result.ok:
+            print(f"  run {index:3d} {label:32s} ok  "
+                  f"checksum={result.checksum} events={result.events}")
+            return
+        print(f"  run {index:3d} {label:32s} VIOLATION "
+              f"{result.violation.get('invariant')}")
+        final_case, final_result = case, result
+        if args.shrink:
+            final_case, final_result, attempts = shrink(case, result)
+            print(f"    shrunk to {final_case.event_count()} schedule "
+                  f"events (n={final_case.n}) in {attempts} attempts")
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"case-{args.seed}-{index}.json")
+        final_case.save(path, outcome=final_result.outcome())
+        failures.append((index, final_result.violation, path))
+        print(f"    counterexample written to {path}")
+
+    print(f"fuzz: seed={args.seed} runs={args.runs} profile={args.profile}")
+    summaries = fuzz_run(args.seed, args.runs, args.profile,
+                         on_result=_capture)
+    ok = sum(1 for s in summaries if s["ok"])
+    print(f"{ok}/{len(summaries)} runs clean")
+    for index, violation, path in failures:
+        print(f"  run {index}: {violation.get('invariant')} -> {path}",
+              file=sys.stderr)
+    return 0 if not failures else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
@@ -469,6 +545,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "lint": _cmd_lint,
     "bench": _cmd_bench,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -112,7 +112,8 @@ class BinarySearchCore(ProtocolCore):
             lender, carry = self._loan_pending
             self._loan_pending = None
             effects.append(Send(lender, LoanReturnMsg(
-                clock=self.clock, round_no=self.round_no, served=carry)))
+                clock=self.clock, round_no=self.round_no, served=carry,
+                epoch=getattr(self, "epoch", 0))))
             return effects
         effects.extend(self._advance(now))
         return effects
@@ -290,7 +291,7 @@ class BinarySearchCore(ProtocolCore):
             relayed = LoanMsg(
                 clock=msg.clock, round_no=msg.round_no, lender=msg.lender,
                 requester=msg.requester, req_seq=msg.req_seq,
-                served=msg.served, trail=msg.trail[1:],
+                served=msg.served, trail=msg.trail[1:], epoch=msg.epoch,
             )
             return [Send(nxt, relayed)]
         self.last_visit = msg.clock

@@ -63,6 +63,21 @@ class FaultTolerantCore(BinarySearchCore):
     def _token_epoch(self) -> int:
         return self.epoch
 
+    def _next_epoch(self, minter: int) -> int:
+        """The epoch a regeneration by ``minter`` would create.
+
+        Epochs stride by ``n`` with the minter's id stamped into the low
+        digits, so two *racing* regenerations (two census origins electing
+        different regenerators off asymmetric reply loss, or a loan reclaim
+        racing a census) can never coin the same number: the resulting
+        tokens carry ordered epochs and the standard ``msg_epoch <
+        self.epoch`` fence retires the loser on first contact.  With a
+        shared plain ``+ 1`` both sides would mint the *same* epoch and two
+        tokens would circulate unfenced.
+        """
+        stride = max(self.n, 1)
+        return (self.epoch // stride + 1) * stride + minter
+
     def _token_suspects(self):
         return tuple(sorted(self.suspected))
 
@@ -169,7 +184,7 @@ class FaultTolerantCore(BinarySearchCore):
         if regenerator is None:
             return [SetTimer((_SUSPECT, self.req_seq), self.config.regen_timeout)]
         _, freshest_clock = census.freshest(self.last_visit)
-        new_epoch = self.epoch + 1
+        new_epoch = self._next_epoch(regenerator)
         new_clock = freshest_clock + self.ring_size()
         regen = RegenerateMsg(new_clock=new_clock, epoch=new_epoch,
                               suspects=tuple(sorted(self.suspected)))
@@ -212,7 +227,7 @@ class FaultTolerantCore(BinarySearchCore):
         # The borrower crashed with our token: reclaim it under a new epoch.
         self.lent_to = None
         self.has_token = True
-        self.epoch += 1
+        self.epoch = self._next_epoch(self.node_id)
         self.suspected.add(requester)
         effects: List[Effect] = [
             Deliver("regenerated", (self.node_id, self.epoch))

@@ -1,0 +1,42 @@
+"""repro.fuzz — deterministic fuzzing & replay harness.
+
+Randomized schedule/fault exploration for the token-passing protocols:
+explicit, serializable cases (:mod:`repro.fuzz.case`), a network-wide
+invariant oracle with a spec-vs-impl shadow differential
+(:mod:`repro.fuzz.oracle`), deterministic execution and checksumming
+(:mod:`repro.fuzz.runner`), and schedule minimization
+(:mod:`repro.fuzz.shrink`).  Everything derives from one root seed
+(:mod:`repro.fuzz.rng`); the ``repro fuzz`` CLI and the committed corpus
+under ``tests/fuzz/corpus/`` are the user-facing entry points.
+"""
+
+from repro.fuzz.case import (
+    IMPL_PROTOCOLS,
+    PROFILES,
+    SPEC_SYSTEMS,
+    FuzzCase,
+    build_delay,
+    generate_case,
+)
+from repro.fuzz.oracle import InvariantOracle, OracleViolation, check_spec_reduction
+from repro.fuzz.rng import child_rng, derive_seed
+from repro.fuzz.runner import FuzzResult, fuzz_run, run_case
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "IMPL_PROTOCOLS",
+    "PROFILES",
+    "SPEC_SYSTEMS",
+    "FuzzCase",
+    "FuzzResult",
+    "InvariantOracle",
+    "OracleViolation",
+    "build_delay",
+    "check_spec_reduction",
+    "child_rng",
+    "derive_seed",
+    "fuzz_run",
+    "generate_case",
+    "run_case",
+    "shrink",
+]

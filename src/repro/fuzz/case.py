@@ -1,0 +1,272 @@
+"""Fuzz cases: fully explicit, serializable schedules.
+
+A :class:`FuzzCase` pins **everything** a run needs — node count, protocol,
+delay model, loss/duplication rates, the request schedule, the fault plan,
+and the event/time budget — as concrete data rather than implicit RNG
+state.  Two consequences:
+
+- replay needs no generator: loading a case file reproduces the run
+  bit-for-bit (the only remaining randomness, delay sampling and
+  loss/duplication draws, flows from ``derive_seed(case.seed, "net")``);
+- the shrinker can minimize by editing lists (drop a request, drop a fault,
+  lower the horizon, remove a node) instead of hunting for a luckier seed.
+
+``generate_case`` derives a case from ``(root_seed, index, profile)``; the
+same triple always yields the same case.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.fuzz.rng import child_rng
+from repro.sim.network import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    UniformDelay,
+)
+
+__all__ = [
+    "SCHEMA",
+    "PROFILES",
+    "IMPL_PROTOCOLS",
+    "SPEC_SYSTEMS",
+    "FuzzCase",
+    "generate_case",
+    "build_delay",
+]
+
+SCHEMA = "repro-fuzz-case/v1"
+
+#: Impl-level protocols eligible for fuzzing (every registered core).
+IMPL_PROTOCOLS = (
+    "ring",
+    "linear_search",
+    "binary_search",
+    "directed_search",
+    "push",
+    "hybrid",
+    "fault_tolerant",
+)
+
+#: Spec-level systems eligible for random-reduction fuzzing.
+SPEC_SYSTEMS = ("S", "S1", "Tok", "MP", "Srch", "BS")
+
+#: profile -> what the generator draws.  ``mixed`` alternates per index.
+PROFILES = ("clean", "faults", "spec", "mixed")
+
+_FAULT_OPS = ("crash", "recover", "token_loss", "partition", "heal")
+
+
+@dataclass
+class FuzzCase:
+    """One self-contained fuzz run (impl- or spec-level)."""
+
+    seed: int
+    kind: str = "impl"                       # "impl" | "spec"
+    # -- impl-level fields ---------------------------------------------------
+    protocol: str = "binary_search"
+    n: int = 5
+    delay: Dict = field(default_factory=lambda: {"kind": "constant", "delay": 1.0})
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    config: Dict = field(default_factory=dict)   # ProtocolConfig overrides
+    requests: List[Tuple[float, int]] = field(default_factory=list)
+    faults: List[Dict] = field(default_factory=list)
+    max_events: int = 20_000
+    horizon: float = 2_000.0
+    # -- spec-level fields ---------------------------------------------------
+    system: str = "BS"
+    steps: int = 150
+    label: str = ""
+
+    # -- derived -------------------------------------------------------------
+
+    def event_count(self) -> int:
+        """Schedule size (requests + faults) — the shrinker's budget."""
+        return len(self.requests) + len(self.faults)
+
+    def validate(self) -> "FuzzCase":
+        if self.kind not in ("impl", "spec"):
+            raise ConfigError(f"unknown case kind {self.kind!r}")
+        if self.kind == "impl":
+            if self.protocol not in IMPL_PROTOCOLS:
+                raise ConfigError(f"unknown protocol {self.protocol!r}")
+            if self.n < 1:
+                raise ConfigError(f"n must be >= 1, got {self.n}")
+            for fault in self.faults:
+                if fault.get("op") not in _FAULT_OPS:
+                    raise ConfigError(f"unknown fault op {fault!r}")
+        else:
+            if self.system not in SPEC_SYSTEMS:
+                raise ConfigError(f"unknown spec system {self.system!r}")
+        return self
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        doc = asdict(self)
+        doc["requests"] = [list(r) for r in self.requests]
+        doc["schema"] = SCHEMA
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "FuzzCase":
+        doc = dict(doc)
+        schema = doc.pop("schema", SCHEMA)
+        if schema != SCHEMA:
+            raise ConfigError(f"unsupported case schema {schema!r}")
+        doc.pop("outcome", None)  # replay files carry the recorded outcome
+        doc["requests"] = [(float(t), int(node)) for t, node in
+                           doc.get("requests", [])]
+        return cls(**doc).validate()
+
+    def save(self, path: str, outcome: Optional[Dict] = None) -> None:
+        doc = self.to_dict()
+        if outcome is not None:
+            doc["outcome"] = outcome
+        with open(path, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> Tuple["FuzzCase", Optional[Dict]]:
+        """Load a case file; returns ``(case, recorded_outcome_or_None)``."""
+        with open(path) as handle:
+            doc = json.load(handle)
+        outcome = doc.get("outcome")
+        return cls.from_dict(doc), outcome
+
+    def with_(self, **changes) -> "FuzzCase":
+        return replace(self, **changes)
+
+
+def build_delay(spec: Dict) -> DelayModel:
+    """Materialize the case's delay-model description."""
+    kind = spec.get("kind", "constant")
+    if kind == "constant":
+        return ConstantDelay(spec.get("delay", 1.0))
+    if kind == "uniform":
+        return UniformDelay(spec.get("low", 0.5), spec.get("high", 2.0))
+    if kind == "exponential":
+        return ExponentialDelay(spec.get("mean", 1.0),
+                                spec.get("minimum", 0.01))
+    raise ConfigError(f"unknown delay kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Case generation
+# ---------------------------------------------------------------------------
+
+def _draw_delay(rng) -> Dict:
+    kind = rng.choice(("constant", "uniform", "exponential"))
+    if kind == "constant":
+        return {"kind": "constant", "delay": rng.choice((0.5, 1.0, 2.0))}
+    if kind == "uniform":
+        low = rng.choice((0.2, 0.5, 1.0))
+        return {"kind": "uniform", "low": low,
+                "high": low * rng.choice((2.0, 4.0))}
+    return {"kind": "exponential", "mean": rng.choice((0.5, 1.0, 3.0)),
+            "minimum": 0.01}
+
+
+def _draw_config(rng, protocol: str) -> Dict:
+    config: Dict = {
+        "trap_gc": rng.choice(("none", "rotation", "inverse")),
+        "single_outstanding": rng.random() < 0.8,
+        "forward_throttle": rng.random() < 0.3,
+    }
+    if rng.random() < 0.3:
+        config["idle_pause"] = rng.choice((2.0, 10.0))
+    if rng.random() < 0.3:
+        config["service_time"] = rng.choice((0.5, 2.0))
+    if rng.random() < 0.3:
+        config["retry_timeout"] = rng.choice((20.0, 60.0))
+    if protocol == "fault_tolerant":
+        config["regen_timeout"] = rng.choice((40.0, 80.0))
+        config["census_window"] = 5.0
+        config["loan_timeout"] = rng.choice((0.0, 30.0))
+    return config
+
+
+def _draw_requests(rng, n: int, horizon: float, count: int) -> List[Tuple[float, int]]:
+    requests = sorted(
+        (round(rng.uniform(0.0, horizon * 0.6), 3), rng.randrange(n))
+        for _ in range(count)
+    )
+    return requests
+
+
+def _draw_faults(rng, n: int, horizon: float, protocol: str) -> List[Dict]:
+    faults: List[Dict] = []
+    # Crash/recover pairs.  For non-fault-tolerant protocols a holder crash
+    # merely stalls the run (safety still holds); for fault_tolerant it
+    # exercises detection + regeneration.
+    for _ in range(rng.randrange(0, 3)):
+        node = rng.randrange(n)
+        t = round(rng.uniform(5.0, horizon * 0.5), 3)
+        faults.append({"t": t, "op": "crash", "a": node})
+        if rng.random() < 0.5:
+            faults.append({"t": round(t + rng.uniform(20.0, 80.0), 3),
+                           "op": "recover", "a": node})
+    # Token loss (the in-flight token vanishes) only where regeneration can
+    # recover it — elsewhere it would just freeze the run uninformatively.
+    if protocol == "fault_tolerant":
+        for _ in range(rng.randrange(0, 2)):
+            faults.append({"t": round(rng.uniform(5.0, horizon * 0.4), 3),
+                           "op": "token_loss"})
+    # Transient partition with a matching heal.
+    if n >= 3 and rng.random() < 0.4:
+        a = rng.randrange(n)
+        b = (a + rng.randrange(1, n)) % n
+        t = round(rng.uniform(5.0, horizon * 0.4), 3)
+        faults.append({"t": t, "op": "partition", "a": a, "b": b})
+        faults.append({"t": round(t + rng.uniform(10.0, 50.0), 3),
+                       "op": "heal", "a": a, "b": b})
+    faults.sort(key=lambda f: f["t"])
+    return faults
+
+
+def generate_case(root_seed: int, index: int, profile: str = "mixed") -> FuzzCase:
+    """Derive the ``index``-th case of a run from the root seed."""
+    if profile not in PROFILES:
+        raise ConfigError(f"unknown profile {profile!r}; choose from {PROFILES}")
+    mode = profile
+    if profile == "mixed":
+        mode = ("clean", "faults", "clean", "faults", "spec")[index % 5]
+    rng = child_rng(root_seed, "case", index, mode)
+
+    if mode == "spec":
+        system = rng.choice(SPEC_SYSTEMS)
+        return FuzzCase(
+            seed=root_seed + index, kind="spec", system=system,
+            n=rng.choice((2, 3, 4)), steps=rng.choice((80, 150, 250)),
+            label=f"spec/{system}",
+        ).validate()
+
+    n = rng.choice((3, 4, 5, 6, 8))
+    protocols = IMPL_PROTOCOLS if mode == "faults" else tuple(
+        p for p in IMPL_PROTOCOLS if p != "fault_tolerant"
+    )
+    protocol = rng.choice(protocols)
+    horizon = rng.choice((400.0, 800.0, 1500.0))
+    case = FuzzCase(
+        seed=root_seed + index,
+        kind="impl",
+        protocol=protocol,
+        n=n,
+        delay=_draw_delay(rng),
+        loss_rate=round(rng.choice((0.0, 0.1, 0.3)), 3),
+        dup_rate=round(rng.choice((0.0, 0.1, 0.2)), 3),
+        config=_draw_config(rng, protocol),
+        requests=_draw_requests(rng, n, horizon, rng.randrange(4, 25)),
+        faults=_draw_faults(rng, n, horizon, protocol) if mode == "faults" else [],
+        max_events=30_000,
+        horizon=horizon,
+        label=f"{mode}/{protocol}/n{n}",
+    )
+    return case.validate()

@@ -1,0 +1,343 @@
+"""The invariant oracle: continuous safety checking during fuzz runs.
+
+Impl-level runs get an :class:`InvariantOracle` attached to the cluster.
+It piggybacks on the always-on :class:`~repro.lint.sanitizer.ClusterSanitizer`
+(at-rest census, clock monotonicity, grant sequencing) and adds the checks
+that need a *network-wide* view:
+
+- **token conservation** — holders + borrowers + in-flight token-lineage
+  messages (``TokenMsg``/``LoanMsg``/``LoanReturnMsg``), bucketed by epoch:
+  the newest epoch never carries more than one unit, and exactly one on
+  fault-free schedules.  This closes the sanitizer's blind spot: a token
+  duplicated *in flight* is invisible to an at-rest census.
+- **shadow differential** — an independent model of every node's ``H_x``
+  ring projection, reconstructed purely from observed deliveries (the
+  bounded-history analogue of the spec's histories).  At every send the
+  implementation's ``last_visit`` must equal the shadow's value; a token
+  hop must extend it by exactly one visit (rule 4), except for System
+  Search's direct hand-over, which by design appends no circulation event.
+- **trap/search consistency** — a forwarded gimme must keep the
+  requester's ``visit_stamp`` frozen (the ``H_z`` snapshot of rule 6 is
+  immutable) and must travel in the direction rule 6's ``⊂_C`` comparison
+  dictates for the current shadow histories.
+
+Spec-level runs go through :func:`check_spec_reduction`, which replays a
+recorded reduction and differentially compares each rule-6 forwarding
+decision (prefix comparison on full histories) against the implementation's
+criterion (visit-count comparison on projected histories).  The two must
+agree whenever the projections have different lengths; equal projections
+are the documented tie — the spec forwards counter-clockwise, the bounded
+implementation clockwise — and are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.core.messages import GimmeMsg, LoanMsg, LoanReturnMsg, TokenMsg
+from repro.specs.common import is_ring_prefix, project_ring
+
+__all__ = ["OracleViolation", "InvariantOracle", "check_spec_reduction"]
+
+#: Protocols whose every TokenMsg is a circulation hop (clock advances by
+#: exactly one).  System Search's direct hand-over ("not a circulation
+#: hop") exempts linear_search from the strict form.
+_STRICT_HOP = frozenset(
+    {"ring", "binary_search", "directed_search", "push", "hybrid",
+     "fault_tolerant"}
+)
+
+_LINEAGE = (TokenMsg, LoanMsg, LoanReturnMsg)
+
+
+class OracleViolation(ReproError):
+    """A safety invariant failed during a fuzz run."""
+
+    def __init__(self, invariant: str, detail: str, context: Optional[Dict] = None):
+        super().__init__(f"{invariant}: {detail}")
+        self.invariant = invariant
+        self.detail = detail
+        self.context = dict(context or {})
+
+
+class InvariantOracle:
+    """Network-wide invariant checks hooked into a live cluster.
+
+    Attach *before* ``cluster.run()`` (delivery interception only sees
+    messages scheduled after :meth:`attach`).  ``strict`` demands exactly
+    one token unit at the newest epoch — valid only for schedules that
+    cannot destroy the token (no crashes, no injected token loss).
+    """
+
+    def __init__(self, cluster, protocol: str = "", strict: bool = False) -> None:
+        self.cluster = cluster
+        self.protocol = protocol
+        self.strict = strict
+        self.checks = 0
+        self.injected_token_losses = 0
+        #: Optional predicate ``(src, dst, msg) -> bool`` consulted at
+        #: delivery time; True swallows an in-flight token (fault
+        #: injection for regeneration runs).
+        self.drop_token: Optional[Callable[[int, int, object], bool]] = None
+        # Shadow state, reconstructed from the message/event stream.
+        self._seen: Dict[int, int] = {}          # node -> |ring(H_x)| - 1
+        self._inflight: Dict[int, int] = {}      # epoch -> lineage msgs
+        self._stamps: Dict[Tuple[int, int], Set[int]] = {}  # (z, seq) -> stamps
+        self._lineage_lost = 0                   # deliveries to dead nodes
+        self._attached = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self) -> None:
+        if self._attached:
+            return
+        self._attached = True
+        net = self.cluster.network
+        self._orig_deliver = net._deliver
+        net._deliver = self._deliver
+        net.on_send.append(self._on_send)
+        for driver in self.cluster.drivers.values():
+            driver.subscribe(self._on_app_event)
+
+    def _fail(self, invariant: str, detail: str, **context) -> None:
+        context.setdefault("now", self.cluster.sim.now)
+        raise OracleViolation(invariant, detail, context)
+
+    # -- shadow bookkeeping ---------------------------------------------------
+
+    def _on_app_event(self, node: int, kind: str, payload: tuple, now: float) -> None:
+        if kind == "token_visit":
+            # payload = (node_id, clock): the canonical visit event — the
+            # only place a node's ring projection grows (rule 4).
+            self._seen[node] = payload[1]
+
+    def _core(self, node: int):
+        return self.cluster.drivers[node].core
+
+    def _shadow(self, node: int) -> int:
+        if node not in self._seen:
+            # Initial condition: the holder's H starts with visit(clock=0),
+            # everyone else is empty (last_visit convention: -1).
+            core = self._core(node)
+            self._seen[node] = 0 if getattr(core, "has_token", False) else -1
+        return self._seen[node]
+
+    # -- send-side checks -----------------------------------------------------
+
+    def _on_send(self, src: int, dst: int, msg: object) -> None:
+        if isinstance(msg, _LINEAGE):
+            epoch = getattr(msg, "epoch", 0)
+            self._inflight[epoch] = self._inflight.get(epoch, 0) + 1
+        if isinstance(msg, TokenMsg):
+            self._check_token_send(src, dst, msg)
+        elif isinstance(msg, GimmeMsg):
+            self._check_gimme_send(src, dst, msg)
+
+    def _check_token_send(self, src: int, dst: int, msg: TokenMsg) -> None:
+        shadow = self._shadow(src)
+        impl = getattr(self._core(src), "last_visit", None)
+        if impl is not None and impl != shadow:
+            self._fail(
+                "shadow-divergence",
+                f"node {src} forwards the token with last_visit={impl} but "
+                f"its observable history ends at visit {shadow}",
+                node=src, impl=impl, shadow=shadow,
+            )
+        if self.protocol in _STRICT_HOP:
+            if msg.clock != shadow + 1:
+                self._fail(
+                    "hop-clock",
+                    f"token hop {src}->{dst} carries clock {msg.clock}, "
+                    f"expected {shadow + 1} (one new visit per hop, rule 4)",
+                    src=src, dst=dst, clock=msg.clock, shadow=shadow,
+                )
+        elif msg.clock not in (shadow, shadow + 1):
+            # Direct hand-over (no visit) or circulation hop (+1); anything
+            # else fabricates or loses history.
+            self._fail(
+                "hop-clock",
+                f"token hop {src}->{dst} carries clock {msg.clock}, expected "
+                f"{shadow} (hand-over) or {shadow + 1} (circulation)",
+                src=src, dst=dst, clock=msg.clock, shadow=shadow,
+            )
+
+    def _check_gimme_send(self, src: int, dst: int, msg: GimmeMsg) -> None:
+        shadow = self._shadow(src)
+        impl = getattr(self._core(src), "last_visit", None)
+        if impl is not None and impl != shadow:
+            self._fail(
+                "shadow-divergence",
+                f"node {src} sends a gimme with last_visit={impl} but its "
+                f"observable history ends at visit {shadow}",
+                node=src, impl=impl, shadow=shadow,
+            )
+        key = (msg.requester, msg.req_seq)
+        if src == msg.requester:
+            # A (re)launch snapshots the requester's own H_z.
+            if msg.visit_stamp != shadow:
+                self._fail(
+                    "stamp-snapshot",
+                    f"node {src} launches a search stamped {msg.visit_stamp} "
+                    f"but its history ends at visit {shadow}",
+                    node=src, stamp=msg.visit_stamp, shadow=shadow,
+                )
+            self._stamps.setdefault(key, set()).add(msg.visit_stamp)
+            return
+        # A forward must keep the requester's snapshot frozen (rule 6
+        # copies H_z verbatim into the forwarded gimme).
+        launched = self._stamps.get(key)
+        if launched is not None and msg.visit_stamp not in launched:
+            self._fail(
+                "stamp-mutation",
+                f"gimme for requester {msg.requester} seq {msg.req_seq} "
+                f"forwarded by {src} carries stamp {msg.visit_stamp}, "
+                f"launched with {sorted(launched)}",
+                src=src, requester=msg.requester, stamp=msg.visit_stamp,
+            )
+        # Rule 6 differential: the spec steers by ⊂_C on full histories,
+        # the impl by comparing visit counts.  Recompute the direction from
+        # the shadow counts and require the impl's target to match.
+        core = self._core(src)
+        hop = getattr(core, "hop", None)
+        if hop is None or msg.span < 1:
+            return
+        ccw, cw = hop(-msg.span), hop(msg.span)
+        if ccw == cw:
+            return
+        expected = ccw if shadow < msg.visit_stamp else cw
+        if dst not in (expected, msg.requester):
+            self._fail(
+                "search-direction",
+                f"node {src} (seen visit {shadow}) forwarded a gimme "
+                f"stamped {msg.visit_stamp} to {dst}; rule 6 dictates "
+                f"{expected} ({'ccw' if expected == ccw else 'cw'})",
+                src=src, dst=dst, expected=expected,
+                shadow=shadow, stamp=msg.visit_stamp,
+            )
+
+    # -- delivery interception ------------------------------------------------
+
+    def _deliver(self, src: int, dst: int, msg: object) -> None:
+        net = self.cluster.network
+        lineage = isinstance(msg, _LINEAGE)
+        if lineage:
+            epoch = getattr(msg, "epoch", 0)
+            count = self._inflight.get(epoch, 0) - 1
+            if count:
+                self._inflight[epoch] = count
+            else:
+                self._inflight.pop(epoch, None)
+            if dst in net._down or dst not in net._handlers:
+                # The addressee is dead: a reliable lineage message (and
+                # its token unit) evaporates here.
+                self._lineage_lost += 1
+            elif isinstance(msg, TokenMsg) and self.drop_token is not None \
+                    and self.drop_token(src, dst, msg):
+                # Injected token loss: the unit vanishes in flight.
+                self.injected_token_losses += 1
+                self._lineage_lost += 1
+                net.dropped_count += 1
+                return
+            elif isinstance(msg, LoanMsg) and msg.requester == dst:
+                # Mirror the borrower's H_x update (the loan carries the
+                # lender's clock; accepting it is a ring contact).  The
+                # fault-tolerant core discards stale epochs *before* this
+                # point — mirror its fence against the pre-delivery epoch.
+                core = self._core(dst)
+                if getattr(msg, "epoch", 0) >= getattr(core, "epoch", 0):
+                    self._seen[dst] = msg.clock
+        self._orig_deliver(src, dst, msg)
+        # Conservation is only decidable at quiescent points: a core
+        # handler mutates all its state *before* the driver applies the
+        # resulting effects, so mid-effect the token legitimately exists
+        # nowhere.  After a delivery fully completes, every send the
+        # handler emitted has been counted.
+        self._check_conservation()
+
+    # -- conservation ---------------------------------------------------------
+
+    def _units(self) -> Dict[int, List[str]]:
+        """Token units per epoch: who holds, who borrows, what's in flight."""
+        units: Dict[int, List[str]] = {}
+        for node, driver in self.cluster.drivers.items():
+            if driver.crashed:
+                continue
+            core = driver.core
+            epoch = getattr(core, "epoch", 0)
+            if getattr(core, "has_token", False):
+                units.setdefault(epoch, []).append(f"held@{node}")
+            elif getattr(core, "_loan_pending", None) is not None:
+                units.setdefault(epoch, []).append(f"loan@{node}")
+        for epoch, count in self._inflight.items():
+            units.setdefault(epoch, []).extend(["inflight"] * count)
+        return units
+
+    def _check_conservation(self) -> None:
+        self.checks += 1
+        units = self._units()
+        if not units:
+            if self.strict and not self._lineage_lost:
+                self._fail(
+                    "token-conservation",
+                    "the token vanished: no holder, no borrower, nothing "
+                    "in flight, and no fault destroyed it",
+                )
+            return
+        newest = max(units)
+        if len(units[newest]) > 1:
+            self._fail(
+                "token-conservation",
+                f"{len(units[newest])} token units coexist at epoch "
+                f"{newest}: {units[newest]}",
+                epoch=newest, units=units[newest],
+            )
+        if self.strict and not self._lineage_lost and len(units[newest]) != 1:
+            self._fail(
+                "token-conservation",
+                f"expected exactly one token unit at epoch {newest}, "
+                f"found {units[newest]}",
+                epoch=newest, units=units[newest],
+            )
+
+
+# ---------------------------------------------------------------------------
+# Spec-level differential
+# ---------------------------------------------------------------------------
+
+def check_spec_reduction(reduction, n: int) -> int:
+    """Differentially check every rule-6 step of a recorded reduction.
+
+    For each forwarding decision the spec took (prefix comparison ``⊂_C``
+    on the full histories ``H`` and ``H_z``), recompute the bounded
+    implementation's criterion (ring-projection *length* comparison, the
+    ``last_visit < visit_stamp`` test) and demand agreement.  Equal
+    projections are the documented tie and exempt.  Returns the number of
+    decisions compared; raises :class:`OracleViolation` on disagreement.
+    """
+    compared = 0
+    for index, step in enumerate(reduction.steps):
+        if step.rule_name != "6":
+            continue
+        binding = step.binding
+        h, hz = binding.get("H"), binding.get("Hz")
+        if h is None or hz is None:
+            continue
+        len_h = len(project_ring(h))
+        len_hz = len(project_ring(hz))
+        if len_h == len_hz:
+            continue  # the tie: spec goes ccw, impl goes cw — exempt
+        spec_ccw = is_ring_prefix(h, hz)
+        impl_ccw = len_h < len_hz
+        compared += 1
+        if spec_ccw != impl_ccw:
+            raise OracleViolation(
+                "rule6-differential",
+                f"step {index}: spec forwards "
+                f"{'ccw' if spec_ccw else 'cw'} (⊂_C on histories) but the "
+                f"visit-count criterion says "
+                f"{'ccw' if impl_ccw else 'cw'} "
+                f"(|ring(H)|={len_h}, |ring(Hz)|={len_hz})",
+                {"step": index, "len_h": len_h, "len_hz": len_hz},
+            )
+    return compared

@@ -1,0 +1,48 @@
+"""Deterministic seed derivation for the fuzzing harness.
+
+Every randomness source in a fuzz run — case generation, network delay
+sampling, loss/duplication draws, fault placement, spec-level strategy
+choices — derives from one **root seed** through labelled children::
+
+    case_rng  = child_rng(root, "case", run_index)
+    net_rng   = child_rng(root, "net")
+    fault_rng = child_rng(root, "faults")
+
+Derivation is a SHA-256 hash of the root and the label path, so streams are
+independent (consuming from one never perturbs another) and every run is
+bit-reproducible from ``(root, labels)`` alone.  This is the plumbing the
+RNG audit asks for: no module reaches for the global ``random`` state, and
+sibling streams cannot interfere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_seed", "child_rng"]
+
+_MASK = (1 << 63) - 1
+
+
+def derive_seed(root: int, *path: object) -> int:
+    """A 63-bit seed deterministically derived from ``root`` and a label
+    path (ints and strings; anything else is repr()ed)."""
+    hasher = hashlib.sha256()
+    hasher.update(str(int(root)).encode("ascii"))
+    for label in path:
+        hasher.update(b"/")
+        # Type-tagged so e.g. the int 0 and the string "0" derive
+        # different streams.
+        if isinstance(label, bytes):
+            hasher.update(b"b:" + label)
+        elif isinstance(label, bool) or not isinstance(label, int):
+            hasher.update(b"s:" + str(label).encode("utf-8"))
+        else:
+            hasher.update(b"i:" + str(label).encode("ascii"))
+    return int.from_bytes(hasher.digest()[:8], "big") & _MASK
+
+
+def child_rng(root: int, *path: object) -> random.Random:
+    """An independent :class:`random.Random` child stream for this path."""
+    return random.Random(derive_seed(root, *path))

@@ -1,0 +1,258 @@
+"""Executing fuzz cases: build, run, observe, summarize.
+
+``run_case`` is the single entry point both the fuzz loop and replay use:
+it materializes a :class:`~repro.fuzz.case.FuzzCase` into either a DES
+cluster (impl-level) or a sanitized random reduction (spec-level), runs it
+to its budget with the invariant oracle attached, and reports a
+:class:`FuzzResult` — outcome, violation details (with a trailing event
+trace for diagnosis), and a CRC32 checksum over the full send stream so
+determinism is pinned end to end: two runs of the same case must produce
+identical results, byte for byte.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.cluster import Cluster
+from repro.core.config import ProtocolConfig
+from repro.errors import ProtocolError, SimulationError
+from repro.fuzz.case import FuzzCase, build_delay, generate_case
+from repro.fuzz.oracle import InvariantOracle, OracleViolation, check_spec_reduction
+from repro.fuzz.rng import derive_seed
+from repro.lint import LintViolation
+from repro.lint.sanitizer import SanitizedRewriter
+from repro.metrics.tracing import TraceRecorder
+
+__all__ = ["FuzzResult", "run_case", "fuzz_run"]
+
+#: Exceptions that count as *findings* (safety violations) rather than
+#: harness errors.
+_VIOLATIONS = (OracleViolation, LintViolation, ProtocolError, SimulationError)
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzz case."""
+
+    ok: bool
+    checksum: str
+    events: int = 0
+    grants: int = 0
+    sends: int = 0
+    violation: Optional[Dict] = None
+    trace_tail: List[Dict] = field(default_factory=list)
+
+    def outcome(self) -> Dict:
+        """The stable portion recorded in corpus files."""
+        doc: Dict = {"ok": self.ok, "checksum": self.checksum,
+                     "events": self.events}
+        if self.violation is not None:
+            doc["invariant"] = self.violation.get("invariant")
+        return doc
+
+    def matches(self, recorded: Dict) -> bool:
+        """Does this run reproduce a corpus file's recorded outcome?"""
+        mine = self.outcome()
+        return all(mine.get(k) == v for k, v in recorded.items())
+
+
+def _violation_dict(exc: Exception) -> Dict:
+    doc: Dict = {"type": type(exc).__name__, "detail": str(exc)}
+    if isinstance(exc, OracleViolation):
+        doc["invariant"] = exc.invariant
+        doc["context"] = {k: repr(v) for k, v in exc.context.items()}
+    elif isinstance(exc, LintViolation):
+        doc["invariant"] = getattr(exc, "invariant", "sanitizer")
+    else:
+        doc["invariant"] = type(exc).__name__
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Impl-level execution
+# ---------------------------------------------------------------------------
+
+class _TokenLossInjector:
+    """Swallows the next in-flight token per armed ``token_loss`` fault."""
+
+    def __init__(self) -> None:
+        self.armed = 0
+        self.dropped = 0
+
+    def arm(self) -> None:
+        self.armed += 1
+
+    def __call__(self, src: int, dst: int, msg: object) -> bool:
+        if self.armed:
+            self.armed -= 1
+            self.dropped += 1
+            return True
+        return False
+
+
+def _schedule_faults(cluster: Cluster, case: FuzzCase,
+                     injector: _TokenLossInjector) -> None:
+    for fault in case.faults:
+        t, op = float(fault["t"]), fault["op"]
+        if op == "crash":
+            cluster.sim.schedule_at(t, cluster.drivers[fault["a"]].crash)
+        elif op == "recover":
+            cluster.sim.schedule_at(t, cluster.drivers[fault["a"]].recover)
+        elif op == "token_loss":
+            cluster.sim.schedule_at(t, injector.arm)
+        elif op == "partition":
+            cluster.sim.schedule_at(
+                t, cluster.network.partition, fault["a"], fault["b"])
+        elif op == "heal":
+            cluster.sim.schedule_at(
+                t, cluster.network.heal, fault["a"], fault["b"])
+
+
+def _run_impl(case: FuzzCase) -> FuzzResult:
+    config = ProtocolConfig(**case.config)
+    cluster = Cluster.build(
+        case.protocol, case.n,
+        seed=derive_seed(case.seed, "net"),
+        config=config,
+        delay=build_delay(case.delay),
+        loss_rate=case.loss_rate,
+        dup_rate=case.dup_rate,
+        sanitize=True,
+    )
+    # Fault-free schedules cannot destroy the token: demand exactly one.
+    oracle = InvariantOracle(cluster, protocol=case.protocol,
+                             strict=not case.faults)
+    oracle.attach()
+    injector = _TokenLossInjector()
+    oracle.drop_token = injector
+    trace = TraceRecorder(cluster)
+
+    checksum = 0
+    sends = 0
+
+    def _digest(src: int, dst: int, msg: object) -> None:
+        nonlocal checksum, sends
+        sends += 1
+        record = f"{cluster.sim.now:.6f}|{src}|{dst}|{msg!r}"
+        checksum = zlib.crc32(record.encode("utf-8"), checksum)
+
+    cluster.network.on_send.append(_digest)
+    for time, node in case.requests:
+        cluster.sim.schedule_at(time, cluster.request, node)
+    _schedule_faults(cluster, case, injector)
+
+    violation: Optional[Dict] = None
+    try:
+        cluster.run(until=case.horizon, max_events=case.max_events)
+    except _VIOLATIONS as exc:
+        violation = _violation_dict(exc)
+    return FuzzResult(
+        ok=violation is None,
+        checksum=f"{checksum:08x}",
+        events=cluster.sim.executed_total,
+        grants=cluster.responsiveness.grants(),
+        sends=sends,
+        violation=violation,
+        trace_tail=trace.tail() if violation is not None else [],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec-level execution
+# ---------------------------------------------------------------------------
+
+def _system_module(name: str):
+    from repro.specs import (
+        system_binary_search,
+        system_message_passing,
+        system_s,
+        system_s1,
+        system_search,
+        system_token,
+    )
+    return {
+        "S": system_s,
+        "S1": system_s1,
+        "Tok": system_token,
+        "MP": system_message_passing,
+        "Srch": system_search,
+        "BS": system_binary_search,
+    }[name]
+
+
+def _run_spec(case: FuzzCase, system_factory: Optional[Callable] = None) -> FuzzResult:
+    if system_factory is not None:
+        rewriter, initial = system_factory(case)
+    else:
+        rewriter, initial = _system_module(case.system).make_system(case.n)
+    # Re-wrap so every single transition is audited, whatever the ambient
+    # REPRO_SANITIZE_EVERY setting says.
+    sanitized = SanitizedRewriter(rewriter.ruleset, rewriter.ctx, every=1)
+
+    violation: Optional[Dict] = None
+    checksum = 0
+    steps = 0
+    try:
+        reduction = sanitized.random_reduction(
+            initial, case.steps, seed=derive_seed(case.seed, "walk"))
+        steps = len(reduction.steps)
+        for step in reduction.steps:
+            record = f"{step.rule_name}|{step.state}"
+            checksum = zlib.crc32(record.encode("utf-8"), checksum)
+        check_spec_reduction(reduction, case.n)
+    except _VIOLATIONS as exc:
+        violation = _violation_dict(exc)
+    return FuzzResult(
+        ok=violation is None,
+        checksum=f"{checksum:08x}",
+        events=steps,
+        violation=violation,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def run_case(case: FuzzCase,
+             system_factory: Optional[Callable] = None) -> FuzzResult:
+    """Execute one case and report its result.
+
+    ``system_factory(case) -> (rewriter, initial)`` overrides the spec
+    system under test (canary/differential experiments).
+    """
+    case.validate()
+    if case.kind == "spec":
+        return _run_spec(case, system_factory)
+    return _run_impl(case)
+
+
+def fuzz_run(root_seed: int, runs: int, profile: str = "mixed",
+             on_result: Optional[Callable] = None) -> List[Dict]:
+    """The fuzz loop: generate and execute ``runs`` cases from a root seed.
+
+    Returns one summary dict per case (index, label, checksum, outcome,
+    violation).  ``on_result(index, case, result)`` is called after each
+    case — the CLI uses it for progress output and counterexample capture.
+    """
+    summaries: List[Dict] = []
+    for index in range(runs):
+        case = generate_case(root_seed, index, profile)
+        result = run_case(case)
+        summary = {
+            "index": index,
+            "label": case.label,
+            "kind": case.kind,
+            "ok": result.ok,
+            "checksum": result.checksum,
+            "events": result.events,
+        }
+        if result.violation is not None:
+            summary["violation"] = result.violation
+        summaries.append(summary)
+        if on_result is not None:
+            on_result(index, case, result)
+    return summaries

@@ -1,0 +1,160 @@
+"""Schedule minimization: shrink a violating case to its essence.
+
+Classic greedy delta debugging over the case's *explicit* schedule — no
+RNG state to fight, because a :class:`~repro.fuzz.case.FuzzCase` carries
+its requests and faults as plain lists:
+
+1. drop faults (largest chunks first, then singles);
+2. drop requests the same way;
+3. remove nodes (shrink ``n``, discarding schedule entries that name
+   removed nodes);
+4. tighten the budgets (``max_events`` to just past the violation point,
+   ``horizon``/``steps`` by halving).
+
+A candidate counts as reproducing only when it fails the *same invariant*
+as the original — shrinking must not wander off to a different bug.  The
+whole process is deterministic: same input case, same minimized output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.runner import FuzzResult, run_case
+
+__all__ = ["shrink"]
+
+
+class _Budget:
+    def __init__(self, attempts: int) -> None:
+        self.left = attempts
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        self.spent += 1
+        return True
+
+
+def _repro(case: FuzzCase, run: Callable, invariant: Optional[str],
+           budget: _Budget) -> Optional[FuzzResult]:
+    """Run a candidate; its result when it fails the same invariant."""
+    if not budget.take():
+        return None
+    result = run(case)
+    if result.violation is None:
+        return None
+    if invariant and result.violation.get("invariant") != invariant:
+        return None
+    return result
+
+
+def _ddmin_list(case: FuzzCase, fld: str, run: Callable,
+                invariant: Optional[str], budget: _Budget,
+                ) -> Tuple[FuzzCase, Optional[FuzzResult]]:
+    """Greedy ddmin over one list field: drop chunks, halving chunk size."""
+    best = case
+    best_result: Optional[FuzzResult] = None
+    items: List = list(getattr(case, fld))
+    chunk = max(1, len(items) // 2)
+    while chunk >= 1 and items:
+        removed_any = False
+        start = 0
+        while start < len(items):
+            candidate_items = items[:start] + items[start + chunk:]
+            candidate = best.with_(**{fld: candidate_items})
+            result = _repro(candidate, run, invariant, budget)
+            if result is not None:
+                items = candidate_items
+                best, best_result = candidate, result
+                removed_any = True
+                # keep `start` put: the next chunk slid into place
+            else:
+                start += chunk
+        if not removed_any or chunk == 1:
+            chunk //= 2
+    return best, best_result
+
+
+def _drop_nodes(case: FuzzCase, run: Callable, invariant: Optional[str],
+                budget: _Budget) -> Tuple[FuzzCase, Optional[FuzzResult]]:
+    best, best_result = case, None
+    n = case.n
+    while n > 2:
+        smaller = n - 1
+        candidate = best.with_(
+            n=smaller,
+            requests=[(t, node) for t, node in best.requests if node < smaller],
+            faults=[f for f in best.faults
+                    if f.get("a", 0) < smaller and f.get("b", 0) < smaller],
+        )
+        result = _repro(candidate, run, invariant, budget)
+        if result is None:
+            break
+        best, best_result = candidate, result
+        n = smaller
+    return best, best_result
+
+
+def _halve_field(case: FuzzCase, fld: str, floor, run: Callable,
+                 invariant: Optional[str], budget: _Budget,
+                 ) -> Tuple[FuzzCase, Optional[FuzzResult]]:
+    best, best_result = case, None
+    value = getattr(case, fld)
+    while value / 2 >= floor:
+        candidate = best.with_(**{fld: type(value)(value / 2)})
+        result = _repro(candidate, run, invariant, budget)
+        if result is None:
+            break
+        best, best_result = candidate, result
+        value = getattr(best, fld)
+    return best, best_result
+
+
+def shrink(case: FuzzCase, result: FuzzResult,
+           run: Callable = run_case,
+           max_attempts: int = 400) -> Tuple[FuzzCase, FuzzResult, int]:
+    """Minimize a violating case; returns ``(case, result, attempts)``.
+
+    ``result`` must be the violating outcome of ``run(case)``.  ``run`` is
+    injectable so canary tests shrink against their instrumented runner.
+    """
+    if result.violation is None:
+        raise ValueError("shrink() needs a violating case")
+    invariant = result.violation.get("invariant")
+    budget = _Budget(max_attempts)
+    best, best_result = case, result
+
+    changed = True
+    while changed and budget.left > 0:
+        changed = False
+        for fld in ("faults", "requests"):
+            if getattr(best, fld):
+                smaller, r = _ddmin_list(best, fld, run, invariant, budget)
+                if r is not None and smaller.event_count() < best.event_count():
+                    best, best_result = smaller, r
+                    changed = True
+        smaller, r = _drop_nodes(best, run, invariant, budget)
+        if r is not None and smaller.n < best.n:
+            best, best_result = smaller, r
+            changed = True
+
+    # Budget tightening (no fixpoint needed: monotone).
+    if best.kind == "impl":
+        if best_result.events and best_result.events < best.max_events:
+            candidate = best.with_(max_events=best_result.events)
+            r = _repro(candidate, run, invariant, budget)
+            if r is not None:
+                best, best_result = candidate, r
+        smaller, r = _halve_field(best, "horizon", 1.0, run, invariant, budget)
+        if r is not None:
+            best, best_result = smaller, r
+    else:
+        smaller, r = _halve_field(best, "steps", 1, run, invariant, budget)
+        if r is not None:
+            best, best_result = smaller, r
+
+    return best, best_result, budget.spent

@@ -121,6 +121,14 @@ class TraceRecorder:
             end = float("inf")
         return [e for e in self.events if start <= e.time <= end]
 
+    def tail(self, k: int = 40) -> List[Dict]:
+        """The last ``k`` events as plain dicts (violation repro files)."""
+        return [
+            {"t": e.time, "kind": e.kind, "src": e.src, "dst": e.dst,
+             "detail": list(e.detail)}
+            for e in self.events[-k:]
+        ]
+
     def summary(self) -> Dict[str, float]:
         """One-dict overview for reports."""
         return {

@@ -1,0 +1,74 @@
+"""CLI surface of ``repro fuzz``: exit codes and replay semantics."""
+
+import json
+import pathlib
+
+from repro.cli import main
+from repro.fuzz import FuzzCase
+
+CORPUS = pathlib.Path(__file__).resolve().parent / "corpus"
+
+
+def test_fuzz_clean_run_exits_zero(capsys):
+    assert main(["fuzz", "--seed", "5", "--runs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 runs clean" in out
+    assert "checksum=" in out
+
+
+def test_fuzz_replay_corpus_exits_zero(capsys):
+    path = sorted(CORPUS.glob("*.json"))[0]
+    assert main(["fuzz", "--replay", str(path)]) == 0
+    assert "recorded outcome reproduced exactly" in capsys.readouterr().out
+
+
+def test_fuzz_replay_tampered_outcome_exits_one(tmp_path, capsys):
+    src = sorted(CORPUS.glob("*.json"))[0]
+    doc = json.loads(src.read_text())
+    doc["outcome"]["checksum"] = "deadbeef"
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(doc))
+    assert main(["fuzz", "--replay", str(tampered)]) == 1
+    assert "MISMATCH" in capsys.readouterr().err
+
+
+def test_fuzz_replay_without_outcome_uses_pass_fail(tmp_path, capsys):
+    case, _ = FuzzCase.load(str(sorted(CORPUS.glob("*.json"))[0]))
+    bare = tmp_path / "bare.json"
+    case.save(str(bare))  # no recorded outcome
+    assert main(["fuzz", "--replay", str(bare)]) == 0
+
+
+def test_fuzz_determinism_across_invocations(capsys):
+    main(["fuzz", "--seed", "7", "--runs", "3"])
+    first = capsys.readouterr().out
+    main(["fuzz", "--seed", "7", "--runs", "3"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_fuzz_failure_writes_counterexample(tmp_path, monkeypatch, capsys):
+    """A violating run exits 1 and leaves a self-contained repro file."""
+    from unittest import mock
+
+    from repro.core.binary_search import BinarySearchCore
+
+    real = BinarySearchCore._forward
+
+    def broken(self):
+        effects = real(self)
+        self.has_token = True  # canary
+        return effects
+
+    out = tmp_path / "failures"
+    with mock.patch.object(BinarySearchCore, "_forward", broken):
+        code = main(["fuzz", "--seed", "99", "--runs", "8",
+                     "--profile", "clean", "--out", str(out)])
+    assert code == 1
+    written = sorted(out.glob("case-*.json"))
+    assert written
+    case, outcome = FuzzCase.load(str(written[0]))
+    assert outcome["ok"] is False
+    assert case.event_count() <= 20  # shrunk before being written
+    err = capsys.readouterr()
+    assert "VIOLATION" in err.out

@@ -1,0 +1,109 @@
+"""Seed derivation and end-to-end determinism (the RNG audit's teeth).
+
+Every randomness source in a fuzz run flows from one root seed through
+labelled ``random.Random`` children; two same-seed runs must therefore be
+byte-identical — same cases, same schedules, same event checksums.  The
+audit test at the bottom pins the repo-wide discipline: no module under
+``src/`` reaches for the global ``random`` state.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.fuzz import (
+    FuzzCase,
+    child_rng,
+    derive_seed,
+    fuzz_run,
+    generate_case,
+    run_case,
+)
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "net") == derive_seed(7, "net")
+
+    def test_path_sensitive(self):
+        seeds = {
+            derive_seed(7),
+            derive_seed(7, "net"),
+            derive_seed(7, "case", 0),
+            derive_seed(7, "case", 1),
+            derive_seed(7, "case", "0"),  # labels are typed into the path
+            derive_seed(8, "net"),
+        }
+        assert len(seeds) == 6
+
+    def test_63_bit_range(self):
+        for root in (0, 1, 2**62, 123456789):
+            assert 0 <= derive_seed(root, "x") < 2**63
+
+    def test_child_streams_independent(self):
+        a, b = child_rng(7, "a"), child_rng(7, "b")
+        first_b = b.random()
+        for _ in range(100):
+            a.random()  # consuming one stream never perturbs a sibling
+        assert child_rng(7, "b").random() == first_b
+
+
+class TestCaseGeneration:
+    def test_same_triple_same_case(self):
+        assert generate_case(11, 3, "mixed") == generate_case(11, 3, "mixed")
+
+    def test_profiles_produce_their_kind(self):
+        assert generate_case(11, 0, "spec").kind == "spec"
+        assert generate_case(11, 0, "clean").faults == []
+        assert generate_case(11, 0, "clean").kind == "impl"
+
+    def test_mixed_cycles_in_spec_cases(self):
+        kinds = {generate_case(11, i, "mixed").kind for i in range(5)}
+        assert kinds == {"impl", "spec"}
+
+    def test_roundtrip(self, tmp_path):
+        case = generate_case(11, 1, "faults")
+        path = tmp_path / "case.json"
+        case.save(str(path), outcome={"ok": True, "checksum": "00000000"})
+        loaded, outcome = FuzzCase.load(str(path))
+        assert loaded == case
+        assert outcome == {"ok": True, "checksum": "00000000"}
+
+
+class TestRunDeterminism:
+    def test_same_seed_identical_summaries(self):
+        assert fuzz_run(31, 6) == fuzz_run(31, 6)
+
+    @pytest.mark.parametrize("index", [0, 1, 4])  # clean, faults, spec
+    def test_case_checksum_stable_across_runs(self, index):
+        case = generate_case(13, index, "mixed")
+        first, second = run_case(case), run_case(case)
+        assert first.checksum == second.checksum
+        assert first.events == second.events
+        assert first.ok == second.ok
+
+    def test_different_seeds_differ(self):
+        a = [s["checksum"] for s in fuzz_run(1, 4)]
+        b = [s["checksum"] for s in fuzz_run(2, 4)]
+        assert a != b
+
+
+GLOBAL_RANDOM = re.compile(
+    r"\brandom\.(random|randint|randrange|choice|choices|shuffle|sample|"
+    r"uniform|seed|gauss|expovariate|betavariate|vonmisesvariate)\s*\("
+)
+
+
+def test_no_module_uses_global_random_state():
+    """The RNG audit: every source module must derive randomness from an
+    explicit ``random.Random`` instance, never the shared global stream."""
+    offenders = []
+    for path in SRC.rglob("*.py"):
+        text = path.read_text()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if GLOBAL_RANDOM.search(line.split("#")[0]):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}: {line.strip()}")
+    assert not offenders, "global random state used:\n" + "\n".join(offenders)

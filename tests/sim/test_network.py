@@ -6,6 +6,15 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.core.messages import (
+    AskMsg,
+    GimmeMsg,
+    LoanMsg,
+    LoanReturnMsg,
+    RegenerateMsg,
+    TokenMsg,
+    WhoHasMsg,
+)
 from repro.errors import NetworkError
 from repro.sim.kernel import Simulator
 from repro.sim.network import (
@@ -191,3 +200,67 @@ class TestDelayModels:
     def test_exponential_validation(self):
         with pytest.raises(NetworkError):
             ExponentialDelay(0.0)
+
+
+class TestProtocolMessageReliability:
+    """Regression pins for the fuzzing harness: loss/duplication may touch
+    only ``reliable=False`` protocol messages, and the token lineage
+    (token, loan, loan-return, regenerate) is never dropped or duplicated
+    no matter how hostile the rates."""
+
+    CHEAP = (
+        GimmeMsg(requester=1, req_seq=0, span=1, visit_stamp=0),
+        AskMsg(requester=1, req_seq=0, visit_stamp=0),
+        WhoHasMsg(origin=1, probe_seq=0),
+    )
+    LINEAGE = (
+        TokenMsg(clock=1, round_no=0),
+        LoanMsg(clock=1, round_no=0, lender=0, requester=1, req_seq=0),
+        LoanReturnMsg(clock=2, round_no=0),
+        RegenerateMsg(new_clock=4, epoch=1),
+    )
+
+    def test_reliability_flags_are_as_documented(self):
+        for msg in self.CHEAP:
+            assert msg.reliable is False, msg
+        for msg in self.LINEAGE:
+            assert msg.reliable is True, msg
+
+    def test_token_lineage_survives_extreme_rates(self):
+        sim, net, inboxes = make_net(loss_rate=0.99, dup_rate=0.99, seed=7)
+        for msg in self.LINEAGE:
+            for _ in range(25):
+                net.send(0, 1, msg)
+        sim.run()
+        # Exactly once each: never dropped, never duplicated.
+        assert len(inboxes[1]) == 25 * len(self.LINEAGE)
+        assert net.dropped_count == 0
+
+    def test_cheap_protocol_messages_bear_the_faults(self):
+        sim, net, inboxes = make_net(loss_rate=0.99, seed=7)
+        for msg in self.CHEAP:
+            for _ in range(50):
+                net.send(0, 1, msg)
+        sim.run()
+        assert len(inboxes[1]) < 20  # almost everything lost
+        assert net.dropped_count == 150 - len(inboxes[1])
+
+    def test_cheap_protocol_messages_duplicate(self):
+        sim, net, inboxes = make_net(dup_rate=0.8, seed=7)
+        for _ in range(50):
+            net.send(0, 1, GimmeMsg(requester=1, req_seq=0, span=1,
+                                    visit_stamp=0))
+        sim.run()
+        assert len(inboxes[1]) > 50
+
+    def test_token_parked_not_dropped_across_partition(self):
+        sim, net, inboxes = make_net(loss_rate=0.99, dup_rate=0.99, seed=7)
+        net.partition(0, 1)
+        net.send(0, 1, TokenMsg(clock=1, round_no=0))
+        sim.run()
+        assert inboxes[1] == []  # parked, not delivered...
+        assert net.dropped_count == 0  # ...and not dropped
+        net.heal(0, 1)
+        sim.run()
+        # Delivered exactly once after the heal.
+        assert [m for _, m in inboxes[1]] == [TokenMsg(clock=1, round_no=0)]
