@@ -1,0 +1,397 @@
+"""Chaos testing for the fault-tolerant asyncio runtime.
+
+The fuzz harness (PR 4) stresses the protocol *cores* under the
+discrete-event simulator; this module stresses the *runtime* — supervisor,
+reliability channel, adaptive detection — under the real asyncio stack,
+kept bit-exact by :mod:`repro.aio.virtualtime`.
+
+A :class:`ChaosCase` pins a complete scenario as plain data: node count,
+transport parameters, an acquire schedule, and a fault plan (crashes that
+the supervisor must detect and repair, partitions that the quorum gate
+must park through).  ``run_chaos_case`` executes it on a virtual clock
+with the :class:`~repro.aio.oracle.AioInvariantOracle` attached and
+demands **bounded recovery**: every scheduled acquire must be granted
+within ``recovery_window`` virtual seconds of the later of its issue time
+and the last injected fault.  A run fails on an oracle violation, a dead
+node coroutine, or an unrecovered acquire.
+
+Determinism contract: the same case always produces the same
+:class:`ChaosResult`, including the CRC32 checksum over the logical
+protocol send stream (framing retransmissions and heartbeats excluded) —
+the virtual clock removes wall-time jitter and every RNG is derived from
+the case seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import zlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.aio.cluster import AioCluster
+from repro.aio.oracle import AioInvariantOracle
+from repro.aio.reliability import ReliabilityConfig
+from repro.aio.supervisor import ClusterSupervisor, RestartPolicy
+from repro.aio.virtualtime import run_virtual
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError
+from repro.fuzz.rng import child_rng
+
+__all__ = [
+    "SCHEMA",
+    "PROFILES",
+    "ChaosCase",
+    "ChaosResult",
+    "generate_chaos_case",
+    "run_chaos_case",
+    "chaos_run",
+]
+
+SCHEMA = "repro-chaos-case/v1"
+
+PROFILES = ("crash", "partition", "mixed")
+
+_FAULT_OPS = ("crash", "partition", "heal", "heal_all")
+
+
+@dataclass
+class ChaosCase:
+    """One self-contained chaos scenario (serializable, replayable)."""
+
+    seed: int
+    profile: str = "mixed"
+    n: int = 5
+    delay: float = 0.01
+    loss_rate: float = 0.02
+    #: Every acquire must be granted within this many virtual seconds of
+    #: ``max(issue time, last fault time)`` — the bounded-recovery SLO.
+    recovery_window: float = 8.0
+    requests: List[Tuple[float, int]] = field(default_factory=list)
+    faults: List[Dict] = field(default_factory=list)
+    horizon: float = 30.0
+    label: str = ""
+
+    def validate(self) -> "ChaosCase":
+        if self.n < 2:
+            raise ConfigError(f"chaos needs n >= 2, got {self.n}")
+        if self.recovery_window <= 0:
+            raise ConfigError("recovery_window must be positive")
+        for t, node in self.requests:
+            if not 0 <= node < self.n:
+                raise ConfigError(f"request targets unknown node {node}")
+        for fault in self.faults:
+            op = fault.get("op")
+            if op not in _FAULT_OPS:
+                raise ConfigError(f"unknown fault op {fault!r}")
+            if op == "crash" and not 0 <= fault.get("a", -1) < self.n:
+                raise ConfigError(f"crash targets unknown node {fault!r}")
+        return self
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        doc = asdict(self)
+        doc["requests"] = [list(r) for r in self.requests]
+        doc["schema"] = SCHEMA
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "ChaosCase":
+        doc = dict(doc)
+        schema = doc.pop("schema", SCHEMA)
+        if schema != SCHEMA:
+            raise ConfigError(f"unsupported chaos schema {schema!r}")
+        doc.pop("outcome", None)
+        doc["requests"] = [(float(t), int(node)) for t, node in
+                           doc.get("requests", [])]
+        return cls(**doc).validate()
+
+    def save(self, path: str, outcome: Optional[Dict] = None) -> None:
+        doc = self.to_dict()
+        if outcome is not None:
+            doc["outcome"] = outcome
+        with open(path, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> Tuple["ChaosCase", Optional[Dict]]:
+        with open(path) as handle:
+            doc = json.load(handle)
+        outcome = doc.get("outcome")
+        return cls.from_dict(doc), outcome
+
+    def with_(self, **changes) -> "ChaosCase":
+        return replace(self, **changes)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos scenario."""
+
+    ok: bool
+    checksum: str
+    grants: int = 0
+    requests: int = 0
+    sends: int = 0
+    restarts: int = 0
+    give_ups: int = 0
+    max_wait: float = 0.0
+    duration: float = 0.0
+    unrecovered: List[Dict] = field(default_factory=list)
+    violation: Optional[Dict] = None
+
+    def outcome(self) -> Dict:
+        """The stable portion recorded in counterexample files."""
+        doc: Dict = {"ok": self.ok, "checksum": self.checksum,
+                     "grants": self.grants}
+        if self.violation is not None:
+            doc["invariant"] = self.violation.get("invariant")
+        if self.unrecovered:
+            doc["unrecovered"] = len(self.unrecovered)
+        return doc
+
+    def matches(self, recorded: Dict) -> bool:
+        mine = self.outcome()
+        return all(mine.get(k) == v for k, v in recorded.items())
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def _runtime_config() -> ProtocolConfig:
+    """The fault-tolerant stack a chaos run exercises.  Timer fields are
+    in message-delay units (the driver scales them by the transport
+    delay); ``regen_timeout`` is the *fallback* — once the ring has
+    cadence history, the supervisor's phi provider overrides it."""
+    return ProtocolConfig(
+        trap_gc="rotation",
+        single_outstanding=True,
+        retry_timeout=25.0,
+        regen_timeout=30.0,
+        census_window=8.0,
+        loan_timeout=80.0,
+        regen_quorum=True,
+    )
+
+
+async def _execute(case: ChaosCase) -> ChaosResult:
+    cluster = AioCluster(
+        "fault_tolerant", case.n, seed=case.seed,
+        config=_runtime_config(),
+        delay=case.delay, loss_rate=case.loss_rate,
+        reliability=ReliabilityConfig(),
+    )
+    oracle = AioInvariantOracle(cluster, protocol="fault_tolerant")
+    oracle.attach()
+    supervisor = ClusterSupervisor(cluster, RestartPolicy(
+        restart_delay=20.0 * case.delay,
+        heartbeat_interval=5.0 * case.delay,
+        phi_threshold=8.0,
+    ))
+
+    checksum = 0
+    sends = 0
+
+    def _digest(src: int, dst: int, msg: object) -> None:
+        nonlocal checksum, sends
+        sends += 1
+        now = asyncio.get_running_loop().time()
+        record = f"{now:.9f}|{src}|{dst}|{msg!r}"
+        checksum = zlib.crc32(record.encode("utf-8"), checksum)
+
+    def _wire_digest(node: int, driver) -> None:
+        driver.on_send_msg.append(_digest)
+
+    cluster.on_driver.append(_wire_digest)
+    for node, driver in cluster.drivers.items():
+        _wire_digest(node, driver)
+
+    await cluster.start()
+    await supervisor.start()
+
+    last_fault_t = max((float(f["t"]) for f in case.faults), default=0.0)
+
+    async def _apply_fault(fault: Dict) -> None:
+        await asyncio.sleep(float(fault["t"]))
+        op = fault["op"]
+        if op == "crash":
+            await cluster.crash_node(fault["a"])
+        elif op == "partition":
+            cluster.transport.split(fault["group_a"], fault["group_b"])
+        elif op == "heal":
+            cluster.transport.heal(fault["a"], fault["b"])
+        elif op == "heal_all":
+            cluster.transport.heal_all()
+
+    grants = 0
+    waits: List[float] = []
+    unrecovered: List[Dict] = []
+
+    async def _request(t: float, node: int) -> None:
+        nonlocal grants
+        await asyncio.sleep(t)
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        deadline = max(start, last_fault_t) + case.recovery_window
+        try:
+            await cluster.acquire(node, timeout=max(deadline - start, 1e-3))
+        except asyncio.TimeoutError:
+            unrecovered.append({
+                "node": node, "t": round(t, 6),
+                "waited": round(loop.time() - start, 6),
+            })
+            return
+        grants += 1
+        waits.append(loop.time() - start)
+        await asyncio.sleep(case.delay)  # brief critical section
+        cluster.release(node)
+
+    tasks = [asyncio.create_task(_apply_fault(f)) for f in case.faults]
+    tasks += [asyncio.create_task(_request(t, node))
+              for t, node in case.requests]
+    await asyncio.gather(*tasks)
+    await asyncio.sleep(10.0 * case.delay)  # drain in-flight traffic
+
+    violation: Optional[Dict] = None
+    if oracle.violation is not None:
+        exc = oracle.violation
+        violation = {"type": "OracleViolation", "invariant": exc.invariant,
+                     "detail": exc.detail,
+                     "context": {k: repr(v) for k, v in exc.context.items()}}
+    else:
+        # A node coroutine that died (sanitizer violation, core bug) is a
+        # finding too — it just surfaces as a dead task, not a raise.
+        for node, driver in cluster.drivers.items():
+            task = driver._task
+            if task is None or not task.done() or task.cancelled():
+                continue
+            exc = task.exception()
+            if exc is not None:
+                violation = {"type": type(exc).__name__,
+                             "invariant": type(exc).__name__,
+                             "detail": f"node {node} coroutine died: {exc}"}
+                break
+
+    duration = asyncio.get_running_loop().time()
+    restarts = sum(supervisor.restarts.values())
+    give_ups = (cluster.reliability_counters.give_ups
+                if cluster.reliability_counters is not None else 0)
+    await supervisor.stop()
+    await cluster.stop()
+    return ChaosResult(
+        ok=violation is None and not unrecovered,
+        checksum=f"{checksum:08x}",
+        grants=grants,
+        requests=len(case.requests),
+        sends=sends,
+        restarts=restarts,
+        give_ups=give_ups,
+        max_wait=round(max(waits), 6) if waits else 0.0,
+        duration=round(duration, 6),
+        unrecovered=unrecovered,
+        violation=violation,
+    )
+
+
+def run_chaos_case(case: ChaosCase) -> ChaosResult:
+    """Execute one chaos scenario to completion on a fresh virtual clock."""
+    case.validate()
+    return run_virtual(_execute(case))
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+def _draw_crashes(rng, n: int) -> List[Dict]:
+    faults = [{"t": round(rng.uniform(1.0, 2.5), 3),
+               "op": "crash", "a": rng.randrange(n)}]
+    if rng.random() < 0.5:
+        survivors = [x for x in range(n) if x != faults[0]["a"]]
+        # Spaced so the supervisor repairs the first before the second
+        # lands — at most one node is ever down, preserving the quorum.
+        faults.append({"t": round(faults[0]["t"] + rng.uniform(2.0, 3.5), 3),
+                       "op": "crash", "a": rng.choice(survivors)})
+    return faults
+
+
+def _draw_partition(rng, n: int) -> List[Dict]:
+    minority = 1 if n < 5 else rng.choice((1, 2))
+    group_a = sorted(rng.sample(range(n), minority))
+    group_b = [x for x in range(n) if x not in group_a]
+    t = round(rng.uniform(1.0, 2.5), 3)
+    return [
+        {"t": t, "op": "partition", "group_a": group_a, "group_b": group_b},
+        {"t": round(t + rng.uniform(1.5, 3.0), 3), "op": "heal_all"},
+    ]
+
+
+def generate_chaos_case(root_seed: int, index: int,
+                        profile: str = "mixed") -> ChaosCase:
+    """Derive the ``index``-th chaos scenario of a run from the root seed
+    — the same triple always yields the same case."""
+    if profile not in PROFILES:
+        raise ConfigError(
+            f"unknown profile {profile!r}; choose from {PROFILES}")
+    mode = profile
+    if profile == "mixed":
+        mode = ("crash", "partition", "crash+partition")[index % 3]
+    rng = child_rng(root_seed, "chaos", index, mode)
+
+    n = rng.choice((4, 5, 6, 7))
+    requests = sorted(
+        (round(rng.uniform(0.5, 5.0), 3), rng.randrange(n))
+        for _ in range(rng.randrange(3, 7))
+    )
+    faults: List[Dict] = []
+    if "crash" in mode:
+        faults.extend(_draw_crashes(rng, n))
+    if "partition" in mode:
+        faults.extend(_draw_partition(rng, n))
+    faults.sort(key=lambda f: f["t"])
+    last_t = max(f["t"] for f in faults)
+    case = ChaosCase(
+        seed=root_seed + index,
+        profile=profile,
+        n=n,
+        delay=0.01,
+        loss_rate=rng.choice((0.0, 0.02, 0.05)),
+        recovery_window=8.0,
+        requests=requests,
+        faults=faults,
+        horizon=round(last_t + 10.0, 3),
+        label=f"{mode}/n{n}",
+    )
+    return case.validate()
+
+
+def chaos_run(root_seed: int, runs: int, profile: str = "mixed",
+              on_result: Optional[Callable] = None) -> List[Dict]:
+    """The chaos loop: generate and execute ``runs`` scenarios.
+
+    Returns one summary dict per case; ``on_result(index, case, result)``
+    fires after each (the CLI uses it for progress and counterexamples)."""
+    summaries: List[Dict] = []
+    for index in range(runs):
+        case = generate_chaos_case(root_seed, index, profile)
+        result = run_chaos_case(case)
+        summary = {
+            "index": index,
+            "label": case.label,
+            "ok": result.ok,
+            "checksum": result.checksum,
+            "grants": result.grants,
+            "restarts": result.restarts,
+        }
+        if result.violation is not None:
+            summary["violation"] = result.violation
+        if result.unrecovered:
+            summary["unrecovered"] = result.unrecovered
+        summaries.append(summary)
+        if on_result is not None:
+            on_result(index, case, result)
+    return summaries

@@ -1,10 +1,18 @@
 """Asyncio cluster: the real-time counterpart of
-:class:`repro.core.cluster.Cluster`, plus dynamic membership.
+:class:`repro.core.cluster.Cluster`, plus dynamic membership and the
+crash/restart surface the fault-tolerant runtime is built on.
 
 Nodes run as coroutines on one event loop.  ``acquire``/``release`` give
 awaitable token access (the mutual-exclusion surface the apps build on),
-and ``join``/``leave`` exercise the paper's Section 5 dynamic-membership
-sketch: the authoritative :class:`~repro.faults.membership.MembershipService`
+``join``/``leave`` exercise the paper's Section 5 dynamic-membership
+sketch, and ``crash_node``/``restart_node`` are the crash-stop/rebirth
+primitives the :class:`~repro.aio.supervisor.ClusterSupervisor` drives:
+a crashed node loses its volatile state and its inbox; a restarted node
+comes back under a fresh core (optionally restored from a supervisor
+snapshot) and a bumped reliability incarnation, and immediately re-arms
+any acquires that were pending across the outage.
+
+The authoritative :class:`~repro.faults.membership.MembershipService`
 versions the ring; cores adopt new views immediately (in a distributed
 deployment the view would ride :class:`~repro.core.messages.MembershipMsg`
 updates — an approximate view only degrades search performance, never
@@ -18,11 +26,13 @@ import random
 from typing import Dict, List, Optional
 
 from repro.aio.driver import AioNodeDriver
+from repro.aio.reliability import ReliabilityConfig, ReliableChannel
 from repro.aio.transport import AioTransport
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigError, MembershipError
 from repro.faults.membership import MembershipService, RingView
 from repro.lint.sanitizer import ClusterSanitizer, sanitize_enabled
+from repro.metrics.counters import MessageCounters, ReliabilityCounters
 
 __all__ = ["AioCluster"]
 
@@ -38,7 +48,9 @@ class AioCluster:
         config: Optional[ProtocolConfig] = None,
         delay: float = 0.001,
         loss_rate: float = 0.0,
+        dup_rate: float = 0.0,
         sanitize: Optional[bool] = None,
+        reliability: Optional[ReliabilityConfig] = None,
     ) -> None:
         if n < 1:
             raise ConfigError(f"n must be >= 1, got {n}")
@@ -52,16 +64,30 @@ class AioCluster:
         self.protocol = protocol
         self._factory = registry[protocol]
         self.n = n
+        self._seed = seed
         self.rng = random.Random(seed)
         self.config = config if config is not None else ProtocolConfig()
         self.config.n = n
         self.config.hold_until_release = True
         self.config.validate()
-        self.transport = AioTransport(delay=delay, loss_rate=loss_rate, rng=self.rng)
+        self.transport = AioTransport(delay=delay, loss_rate=loss_rate,
+                                      dup_rate=dup_rate, rng=self.rng)
         enabled = sanitize_enabled() if sanitize is None else sanitize
         self.sanitizer = ClusterSanitizer() if enabled else None
+        self.reliability = reliability
+        self.reliability_counters = (
+            ReliabilityCounters() if reliability is not None else None
+        )
+        self.messages = MessageCounters()
         self.membership = MembershipService(range(n))
+        #: ``hook(node_id, driver)`` — fired whenever a driver is (re)built
+        #: (initial construction, restart, join).  The supervisor and the
+        #: aio invariant oracle use this to re-wire their per-driver hooks
+        #: onto the fresh incarnation.
+        self.on_driver: List = []
         self.drivers: Dict[int, AioNodeDriver] = {}
+        self._incarnations: Dict[int, int] = {}
+        self._recv_states: Dict[int, Dict] = {}
         self._grant_waiters: Dict[int, List[asyncio.Future]] = {}
         self._grant_log: List[int] = []
         self._next_id = n
@@ -70,12 +96,44 @@ class AioCluster:
             self._make_driver(node_id)
         self.membership.subscribe(self._on_view_change)
 
-    def _make_driver(self, node_id: int) -> AioNodeDriver:
+    def _make_driver(self, node_id: int,
+                     restore: Optional[Dict] = None) -> AioNodeDriver:
         core = self._factory(node_id, self.config)
         core.ring = self.membership.view
-        driver = AioNodeDriver(self.transport, core, sanitizer=self.sanitizer)
+        if node_id in self._incarnations:
+            # Rebuilt cores must never *own* the token by construction.
+            # The factory gives the configured initial holder (node 0 by
+            # default) ``has_token=True`` — correct at cluster birth, but a
+            # reborn node 0 would resurrect a stale token at its original
+            # epoch, with no fence able to retire it.  Ownership after a
+            # restart only ever arrives over the wire or via regeneration.
+            core.has_token = False
+            core.lent_to = None
+            core.last_visit = -1
+        if restore:
+            for attr, value in restore.items():
+                setattr(core, attr, value)
+        channel = None
+        if self.reliability is not None:
+            incarnation = self._incarnations.get(node_id, 0)
+            channel = ReliableChannel(
+                node_id, self.transport,
+                incarnation=incarnation,
+                config=self.reliability,
+                rng=random.Random(
+                    self._seed * 1_000_003 + node_id * 101 + incarnation),
+                counters=self.reliability_counters,
+            )
+            saved = self._recv_states.pop(node_id, None)
+            if saved:
+                channel.restore_recv_state(saved)
+        driver = AioNodeDriver(self.transport, core,
+                               sanitizer=self.sanitizer, channel=channel)
         driver.subscribe(self._on_app_event)
+        driver.on_send_msg.append(self.messages.on_send)
         self.drivers[node_id] = driver
+        for hook in self.on_driver:
+            hook(node_id, driver)
         return driver
 
     def _on_view_change(self, view: RingView) -> None:
@@ -87,6 +145,15 @@ class AioCluster:
             self._grant_log.append(node)
             waiters = self._grant_waiters.get(node)
             if not waiters:
+                # Nobody is waiting (the acquire timed out, or the grant
+                # answers a pre-crash request): hand the token straight
+                # back, otherwise it would sit here forever in
+                # hold-until-release mode.  Deferred to the next loop
+                # iteration — we are inside the driver's effect
+                # application right now.
+                driver = self.drivers.get(node)
+                if driver is not None:
+                    asyncio.get_running_loop().call_soon(driver.release)
                 return
             # One grant admits exactly one waiter (FIFO).  If others are
             # queued on the same node, re-arm the request so the core
@@ -127,7 +194,17 @@ class AioCluster:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._grant_waiters.setdefault(node, []).append(future)
         driver.request()
-        await asyncio.wait_for(future, timeout)
+        try:
+            await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            # Regression guard: a timed-out waiter must not linger in the
+            # queue, where it would silently swallow the node's next grant.
+            waiters = self._grant_waiters.get(node)
+            if waiters is not None and future in waiters:
+                waiters.remove(future)
+                if not waiters:
+                    del self._grant_waiters[node]
+            raise
 
     def release(self, node: int) -> None:
         """Release the token held by ``node`` (mutual-exclusion exit)."""
@@ -146,6 +223,63 @@ class AioCluster:
         total order (used by the broadcast app)."""
         return list(self._grant_log)
 
+    def pending_acquires(self, node: int) -> int:
+        """Waiters currently queued on ``node`` (diagnostics/tests)."""
+        return len(self._grant_waiters.get(node, ()))
+
+    # -- crash / restart -----------------------------------------------------------
+
+    async def crash_node(self, node: int) -> None:
+        """Crash-stop ``node``: its volatile core state, timers, channel
+        and inbox are lost; in-flight messages to it are dropped.  The node
+        stays a ring member (a crash is not a leave)."""
+        driver = self.drivers.get(node)
+        if driver is None:
+            raise MembershipError(f"node {node} is not a member")
+        if driver.crashed:
+            return
+        driver.crashed = True
+        await driver.stop()
+        if driver.channel is not None:
+            # The ARQ dedup watermark is durable (see
+            # ReliableChannel.export_recv_state): a reborn node must not
+            # re-accept frames its previous incarnation already acted on.
+            self._recv_states[node] = driver.channel.export_recv_state()
+        self.transport.crash(node)
+        if self.sanitizer is not None:
+            self.sanitizer.mark_crashed(node)
+
+    async def restart_node(self, node: int,
+                           restore: Optional[Dict] = None) -> AioNodeDriver:
+        """Bring a crashed node back under a fresh core.
+
+        ``restore`` is an attribute dict (a supervisor snapshot) applied to
+        the new core — typically ``epoch``/``last_visit``/``clock`` so the
+        reborn node rejoins the current token lineage instead of accepting
+        stale history.  Acquires that were pending across the outage are
+        re-armed immediately."""
+        driver = self.drivers.get(node)
+        if driver is None:
+            raise MembershipError(f"node {node} is not a member")
+        if not driver.crashed:
+            raise MembershipError(f"node {node} is not crashed")
+        self.transport.recover(node)
+        if self.sanitizer is not None:
+            # Forget the dead incarnation entirely: the fresh core starts a
+            # new clock history (possibly restored from a snapshot).
+            self.sanitizer.unregister(node)
+        self._incarnations[node] = self._incarnations.get(node, 0) + 1
+        fresh = self._make_driver(node, restore=restore)
+        if self._started:
+            await fresh.start()
+        if self._grant_waiters.get(node):
+            fresh.request()
+        return fresh
+
+    def crashed_nodes(self) -> List[int]:
+        """Currently crash-stopped members."""
+        return sorted(n for n, d in self.drivers.items() if d.crashed)
+
     # -- membership ------------------------------------------------------------------------
 
     async def join(self, sponsor: Optional[int] = None) -> int:
@@ -161,22 +295,28 @@ class AioCluster:
             await driver.start()
         return node_id
 
-    async def leave(self, node: int) -> None:
-        """Remove ``node`` from the ring.  The node must not hold the token
-        (wait for quiescence or release first)."""
+    async def leave(self, node: int, timeout: Optional[float] = None) -> None:
+        """Remove ``node`` from the ring.  The node must not hold the token;
+        we wait up to ``timeout`` wall-clock seconds for it to pass the
+        token on (default: 200 transport delays, floored at 0.2 s)."""
         driver = self.drivers.get(node)
         if driver is None:
             raise MembershipError(f"node {node} is not a member")
+        if timeout is None:
+            timeout = max(200 * self.transport.delay, 0.2)
         core = driver.core
-        deadline = 200
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        poll = max(self.transport.delay, 1e-4)
         while (getattr(core, "has_token", False)
                or getattr(core, "lent_to", None) is not None):
-            await asyncio.sleep(self.transport.delay)
-            deadline -= 1
-            if deadline <= 0:
+            elapsed = loop.time() - started
+            if elapsed >= timeout:
                 raise MembershipError(
-                    f"node {node} still holds the token; cannot leave"
+                    f"node {node} still holds the token after "
+                    f"{elapsed:.3f}s (timeout {timeout:.3f}s); cannot leave"
                 )
+            await asyncio.sleep(poll)
         self.membership.leave(node)
         await driver.stop()
         if self.sanitizer is not None:

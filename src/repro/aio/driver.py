@@ -4,6 +4,18 @@ Runs one core as a coroutine: messages are awaited from the transport
 inbox, timers are ``loop.call_later`` handles, and application events are
 fanned out to subscribers — the same contract as the discrete-event driver,
 so every core runs unchanged in real time.
+
+The driver is also the seam where the fault-tolerant runtime plugs in:
+
+- an optional :class:`~repro.aio.reliability.ReliableChannel` frames every
+  expensive outgoing message and dedups inbound frames, so the core sees
+  exactly the at-most-once stream it was designed for;
+- ``on_control`` interceptors consume runtime-internal messages (e.g.
+  supervisor heartbeats) before they can reach — and confuse — the core;
+- ``on_send_msg`` hooks observe every **logical** protocol send (once per
+  payload, never per retransmission) and ``on_handled`` hooks fire after a
+  delivered payload has been fully processed — together they give the
+  invariant oracle the quiescent points it needs.
 """
 
 from __future__ import annotations
@@ -11,9 +23,10 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, Dict, Hashable, List, Optional
 
+from repro.aio.reliability import ReliableChannel
+from repro.aio.transport import AioTransport
 from repro.core.base import ProtocolCore
 from repro.core.effects import CancelTimer, Deliver, Effect, Send, SetTimer, Trace
-from repro.aio.transport import AioTransport
 from repro.errors import SimulationError
 from repro.lint.sanitizer import ClusterSanitizer
 
@@ -33,16 +46,26 @@ class AioNodeDriver:
         transport: AioTransport,
         core: ProtocolCore,
         sanitizer: Optional[ClusterSanitizer] = None,
+        channel: Optional[ReliableChannel] = None,
     ) -> None:
         self.transport = transport
         self.core = core
         self.node_id = core.node_id
         self.sanitizer = sanitizer
+        self.channel = channel
+        self.crashed = False
         if sanitizer is not None:
             sanitizer.register(core)
         self._inbox = transport.attach(self.node_id)
         self._timers: Dict[Hashable, asyncio.TimerHandle] = {}
         self._subscribers: List[Callable[[int, str, tuple, float], None]] = []
+        #: ``hook(src, msg) -> bool`` — True consumes the message before
+        #: it reaches the core (supervisor heartbeats, runtime control).
+        self.on_control: List[Callable[[int, object], bool]] = []
+        #: ``hook(src, dst, msg)`` — every logical protocol send.
+        self.on_send_msg: List[Callable[[int, int, object], None]] = []
+        #: ``hook(src, msg)`` — a delivered payload was fully processed.
+        self.on_handled: List[Callable[[int, object], None]] = []
         self._task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
@@ -58,10 +81,12 @@ class AioNodeDriver:
         self._task = asyncio.create_task(self._run(), name=f"node-{self.node_id}")
 
     async def stop(self) -> None:
-        """Cancel the consumer task and all timers."""
+        """Cancel the consumer task, all timers, and any retransmissions."""
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
+        if self.channel is not None:
+            self.channel.stop()
         if self._task is not None:
             self._task.cancel()
             try:
@@ -73,10 +98,14 @@ class AioNodeDriver:
 
     def request(self) -> None:
         """The application at this node asks for the token."""
+        if self.crashed:
+            return
         self._apply(self.core.on_request(self._now()), "on_request")
 
     def release(self) -> None:
         """The application releases a held grant."""
+        if self.crashed:
+            return
         self._apply(self.core.on_release(self._now()), "on_release")
 
     # -- internals -----------------------------------------------------------
@@ -87,19 +116,45 @@ class AioNodeDriver:
 
     async def _run(self) -> None:
         while True:
-            src, msg = await self._inbox.get()
-            self._apply(self.core.on_message(src, msg, self._now()), "on_message", msg)
+            src, raw = await self._inbox.get()
+            msg = raw
+            if self.channel is not None:
+                msg = self.channel.on_frame(src, raw)
+                if msg is None:
+                    continue  # ack, or a deduplicated retransmission
+            if self._consume_control(src, msg):
+                continue
+            self._apply(self.core.on_message(src, msg, self._now()),
+                        "on_message", msg)
+            for hook in self.on_handled:
+                hook(src, msg)
+
+    def _consume_control(self, src: int, msg: object) -> bool:
+        for hook in self.on_control:
+            if hook(src, msg):
+                return True
+        # Runtime-internal traffic must never reach the core: cores raise
+        # on unknown message types by design.
+        return type(msg).__name__ == "HeartbeatMsg"
 
     def _on_timer(self, key: Hashable) -> None:
         self._timers.pop(key, None)
         self._apply(self.core.on_timer(key, self._now()), "on_timer", key)
+
+    def _send(self, dst: int, msg: object) -> None:
+        for hook in self.on_send_msg:
+            hook(self.node_id, dst, msg)
+        if self.channel is not None:
+            self.channel.send(dst, msg)
+        else:
+            self.transport.send(self.node_id, dst, msg)
 
     def _apply(
         self, effects: List[Effect], origin: str = "<direct>", payload: object = None
     ) -> None:
         for effect in effects:
             if isinstance(effect, Send):
-                self.transport.send(self.node_id, effect.dst, effect.msg)
+                self._send(effect.dst, effect.msg)
             elif isinstance(effect, SetTimer):
                 previous = self._timers.pop(effect.key, None)
                 if previous is not None:

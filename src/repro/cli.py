@@ -14,6 +14,8 @@ Usage (also available as ``python -m repro``):
     python -m repro bench --validate --compare benchmarks/baselines/BENCH_<stamp>.json
     python -m repro fuzz [--seed 2001 --runs 50 --profile mixed]
     python -m repro fuzz --replay tests/fuzz/corpus/<case>.json
+    python -m repro chaos [--seed 2001 --runs 20 --profile mixed]
+    python -m repro chaos --replay chaos-failures/<case>.json
 
 Sweep commands accept ``--jobs N`` (or the ``REPRO_JOBS`` environment
 variable) to fan independent cells out over N worker processes; the output
@@ -172,6 +174,28 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--out", metavar="DIR", default="fuzz-failures",
                       help="directory for counterexample files "
                            "(default fuzz-failures/)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded crash/partition scenarios against the asyncio "
+             "runtime (virtual time): supervised restart, reliable "
+             "delivery, invariant oracle, bounded-recovery check")
+    chaos.add_argument("--seed", type=int, default=2001,
+                       help="root seed every scenario derives from "
+                            "(default 2001)")
+    chaos.add_argument("--runs", type=int, default=20,
+                       help="number of scenarios to generate and run "
+                            "(default 20)")
+    chaos.add_argument("--profile", default="mixed",
+                       choices=("crash", "partition", "mixed"),
+                       help="fault mix (default mixed)")
+    chaos.add_argument("--replay", metavar="FILE", default=None,
+                       help="replay one saved scenario file instead; exits "
+                            "nonzero unless the recorded outcome reproduces "
+                            "exactly")
+    chaos.add_argument("--out", metavar="DIR", default="chaos-failures",
+                       help="directory for counterexample files "
+                            "(default chaos-failures/)")
     return parser
 
 
@@ -535,6 +559,58 @@ def _cmd_fuzz(args) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_chaos(args) -> int:
+    import os
+
+    from repro.aio.chaos import ChaosCase, chaos_run, run_chaos_case
+
+    if args.replay:
+        case, recorded = ChaosCase.load(args.replay)
+        result = run_chaos_case(case)
+        status = "ok" if result.ok else \
+            f"VIOLATION {result.violation.get('invariant')}"
+        if result.unrecovered:
+            status += f" unrecovered={len(result.unrecovered)}"
+        print(f"replay {args.replay}: {status} "
+              f"checksum={result.checksum} grants={result.grants}")
+        if recorded is None:
+            return 0 if result.ok and not result.unrecovered else 1
+        if result.matches(recorded):
+            print("recorded outcome reproduced exactly")
+            return 0
+        print(f"MISMATCH: recorded {recorded}, got {result.outcome()}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+
+    def _capture(index, case, result):
+        clean = result.ok and not result.unrecovered
+        if clean:
+            print(f"  run {index:3d} {case.label:32s} ok  "
+                  f"checksum={result.checksum} grants={result.grants} "
+                  f"restarts={result.restarts} max_wait={result.max_wait:.2f}")
+            return
+        what = (result.violation.get("invariant")
+                if result.violation is not None
+                else f"{len(result.unrecovered)} acquire(s) past the "
+                     f"recovery window")
+        print(f"  run {index:3d} {case.label:32s} FAILED {what}")
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"case-{args.seed}-{index}.json")
+        case.save(path, outcome=result.outcome())
+        failures.append((index, what, path))
+        print(f"    counterexample written to {path}")
+
+    print(f"chaos: seed={args.seed} runs={args.runs} profile={args.profile}")
+    chaos_run(args.seed, args.runs, args.profile, on_result=_capture)
+    clean = args.runs - len(failures)
+    print(f"{clean}/{args.runs} scenarios clean")
+    for index, what, path in failures:
+        print(f"  run {index}: {what} -> {path}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
@@ -546,6 +622,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "bench": _cmd_bench,
     "fuzz": _cmd_fuzz,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -60,6 +60,11 @@ class ProtocolConfig:
       than ``regen_timeout`` runs a who-has census, waits ``census_window``
       for replies, and elects a regenerator; a lender reclaims an unreturned
       loan after ``loan_timeout``.  0 disables each mechanism.
+    - ``regen_quorum`` — partition-resilient regeneration: a census origin
+      may only elect a regenerator when it heard from a strict majority of
+      the ring.  A minority partition parks (keeps probing) instead of
+      minting a token that epoch fencing would have to retire on heal.
+      Off by default to preserve the paper's plain Section 5 behaviour.
     """
 
     n: int = 0
@@ -76,6 +81,7 @@ class ProtocolConfig:
     regen_timeout: float = 0.0
     census_window: float = 5.0
     loan_timeout: float = 0.0
+    regen_quorum: bool = False
 
     def validate(self) -> "ProtocolConfig":
         """Check field consistency; return self for chaining."""

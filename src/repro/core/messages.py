@@ -33,6 +33,7 @@ __all__ = [
     "WhoHasMsg",
     "WhoHasReplyMsg",
     "RegenerateMsg",
+    "HeartbeatMsg",
     "JoinMsg",
     "JoinAckMsg",
     "LeaveMsg",
@@ -211,6 +212,19 @@ class RegenerateMsg(Message):
     suspects: Tuple[int, ...] = ()
 
     reliable = True
+
+
+@dataclass(frozen=True)
+class HeartbeatMsg(Message):
+    """Runtime liveness beacon (cheap): a supervised node's periodic "I am
+    alive" to its ring neighbours, feeding their phi-accrual detectors.
+    Consumed by the driver layer; never reaches a protocol core."""
+
+    sender: int
+    seq: int
+    last_visit: int = -1
+
+    reliable = False
 
 
 @dataclass(frozen=True)

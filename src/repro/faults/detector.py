@@ -16,9 +16,102 @@ received the token next.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
-__all__ = ["Census"]
+__all__ = ["Census", "PhiAccrualDetector"]
+
+_LN10 = math.log(10.0)
+
+
+class PhiAccrualDetector:
+    """Adaptive accrual failure detection (Hayashibara et al. 2004).
+
+    Instead of a boolean "failed after T seconds", the detector accrues a
+    continuous suspicion level phi from the observed inter-arrival times of
+    a heartbeat source.  We use the exponential-tail form deployed by
+    Cassandra and Akka: with mean inter-arrival ``m``, the probability of
+    seeing no arrival for ``t`` seconds is ``exp(-t/m)``, so
+
+        ``phi(t) = -log10 P = t / (m * ln 10)``.
+
+    phi = 1 means "90 % sure it's dead", phi = 8 "99.999999 %".  The
+    closed form also inverts cleanly: phi crosses a threshold exactly
+    ``threshold * m * ln 10`` after the last arrival, which is what the
+    fault-tolerant runtime uses as its **adaptive detection timeout** —
+    fast rings suspect in milliseconds, slow rings wait proportionally,
+    with no hand-tuned constant in sight.
+
+    The *heartbeat source* need not be a literal heartbeat: the runtime
+    feeds one detector per node with **token sightings** (the rotating
+    token is its own liveness signal, exactly the paper's demand-driven
+    observation) and one per supervised peer with explicit heartbeats.
+
+    Deterministic, windowed, stdlib-only.
+    """
+
+    def __init__(self, window: int = 64,
+                 min_interval: float = 1e-6) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.min_interval = min_interval
+        self._intervals: Deque[float] = deque(maxlen=window)
+        self.last_arrival: Optional[float] = None
+
+    # -- ingestion ----------------------------------------------------------
+
+    def observe(self, now: float) -> None:
+        """Record one arrival at time ``now``."""
+        if self.last_arrival is not None and now >= self.last_arrival:
+            self._intervals.append(
+                max(now - self.last_arrival, self.min_interval))
+        self.last_arrival = now
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        """Recorded inter-arrival intervals."""
+        return len(self._intervals)
+
+    def mean_interval(self) -> Optional[float]:
+        """Windowed mean inter-arrival time (None with < 1 sample)."""
+        if not self._intervals:
+            return None
+        return sum(self._intervals) / len(self._intervals)
+
+    def std_interval(self) -> float:
+        """Windowed inter-arrival standard deviation (diagnostics)."""
+        if len(self._intervals) < 2:
+            return 0.0
+        mean = sum(self._intervals) / len(self._intervals)
+        var = sum((x - mean) ** 2 for x in self._intervals) / len(self._intervals)
+        return math.sqrt(var)
+
+    # -- suspicion ----------------------------------------------------------
+
+    def phi(self, now: float) -> float:
+        """Current suspicion level (0.0 while there is no history)."""
+        mean = self.mean_interval()
+        if mean is None or self.last_arrival is None:
+            return 0.0
+        elapsed = max(now - self.last_arrival, 0.0)
+        return elapsed / (mean * _LN10)
+
+    def suspicious(self, now: float, threshold: float) -> bool:
+        """True once phi accrued past ``threshold``."""
+        return self.phi(now) >= threshold
+
+    def timeout_after(self, threshold: float) -> Optional[float]:
+        """Silence (seconds since the last arrival) at which phi crosses
+        ``threshold`` — the adaptive stand-in for a fixed timeout.  None
+        while there is no history to adapt to."""
+        mean = self.mean_interval()
+        if mean is None:
+            return None
+        return threshold * mean * _LN10
 
 
 class Census:

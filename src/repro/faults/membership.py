@@ -76,6 +76,11 @@ class RingView:
         """Clockwise hops from ``a`` to ``b``."""
         return (self.index(b) - self.index(a)) % len(self.members)
 
+    def majority(self) -> int:
+        """Smallest strict majority of the current membership — the quorum
+        a partition side must reach before regenerating a token."""
+        return len(self.members) // 2 + 1
+
     def fingers(self, node: int) -> List[int]:
         """The logarithmic neighbour set the paper's future-work sketch
         calls for: members 1/2, 1/4, 1/8, … of the way around."""

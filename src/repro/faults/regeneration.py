@@ -23,7 +23,7 @@ with no requester, a lost token goes unnoticed — and harmlessly so.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from typing import Callable, Hashable, List, Optional
 
 from repro.core.binary_search import BinarySearchCore
 from repro.core.config import ProtocolConfig
@@ -57,6 +57,43 @@ class FaultTolerantCore(BinarySearchCore):
         self.suspected: set = set()
         self._census: Optional[Census] = None
         self._probe_seq = 0
+        #: Freshest fleet-wide clock seen at the previous census deadline —
+        #: the baseline for the progress check (see _on_census_deadline).
+        self._fleet_max: Optional[int] = None
+        #: Optional adaptive detection hook (the asyncio supervisor wires a
+        #: phi-accrual estimate here): returns the suspect-timer delay in
+        #: message-delay units, or None to fall back to the configured
+        #: fixed ``regen_timeout``.
+        self.regen_delay_provider: Optional[Callable[[], Optional[float]]] = None
+        #: Optional liveness hook: the set of peers with fresh out-of-band
+        #: liveness evidence (the supervisor's heartbeat view).  Consulted
+        #: wherever ``suspected`` steers routing, because gossip alone
+        #: cannot retire a stale suspicion: the suspects tuple is merged
+        #: and re-forwarded inside the same token handler, so while a
+        #: token is in flight somewhere, clearing the *set* between
+        #: handlers never sticks — the evidence has to win at the point
+        #: of use.
+        self.alive_provider: Optional[Callable[[], set]] = None
+
+    def _suspect_delay(self) -> float:
+        """Delay before this requester suspects the token is lost."""
+        if self.regen_delay_provider is not None:
+            adaptive = self.regen_delay_provider()
+            if adaptive is not None and adaptive > 0:
+                return adaptive
+        return self.config.regen_timeout
+
+    def _ring_members(self) -> List[int]:
+        if self.ring is not None:
+            return list(self.ring.members)
+        return list(range(self.n))
+
+    def _effective_suspects(self) -> set:
+        """``suspected`` minus peers proven alive out-of-band.  Also prunes
+        the set itself, so rehabilitated peers stop riding the gossip."""
+        if self.alive_provider is not None:
+            self.suspected -= self.alive_provider()
+        return self.suspected
 
     # -- epoch & routing hooks ----------------------------------------------------
 
@@ -79,17 +116,18 @@ class FaultTolerantCore(BinarySearchCore):
         return (self.epoch // stride + 1) * stride + minter
 
     def _token_suspects(self):
-        return tuple(sorted(self.suspected))
+        return tuple(sorted(self._effective_suspects()))
 
     def _rotation_successor(self) -> int:
+        suspects = self._effective_suspects()
         for k in range(1, self.ring_size()):
             candidate = self.ring_succ(k)
-            if candidate not in self.suspected:
+            if candidate not in suspects:
                 return candidate
         return self.node_id
 
     def _skip_requester(self, requester: int) -> bool:
-        return requester in self.suspected
+        return requester in self._effective_suspects()
 
     def _after_loan_sent(self, requester: int) -> List[Effect]:
         if self.config.loan_timeout <= 0:
@@ -99,12 +137,29 @@ class FaultTolerantCore(BinarySearchCore):
     # -- message handling ---------------------------------------------------------------
 
     def on_message(self, src: int, msg: object, now: float) -> List[Effect]:
+        # Any traffic from ``src`` is direct evidence it is alive — clear
+        # it before anything else.  Without this, suspicion gossip is
+        # self-sustaining: every token forward re-carries the suspects
+        # tuple, every receiver re-merges it in the same handler that
+        # forwards, and a *recovered* node stays routed around forever,
+        # starving its own requests.  Its probes reaching us break the
+        # chain.
+        self.suspected.discard(src)
         if isinstance(msg, (TokenMsg, LoanMsg, LoanReturnMsg)):
             msg_epoch = getattr(msg, "epoch", 0)
             if msg_epoch < self.epoch:
                 return []  # stale token lineage: discard
             if msg_epoch > self.epoch:
                 self.epoch = msg_epoch
+                if isinstance(msg, (TokenMsg, LoanMsg)):
+                    # Two racing regenerations mint tokens at *ordered*
+                    # epochs (see _next_epoch); this message outranks any
+                    # lineage we still carry, so retire ours here — the
+                    # fence that normally kills the loser on contact,
+                    # applied to ourselves.  Without this, the base
+                    # handler would see an illegal "second token".
+                    self.has_token = False
+                    self.lent_to = None
         if isinstance(msg, WhoHasMsg):
             return self._on_who_has(src, msg)
         if isinstance(msg, WhoHasReplyMsg):
@@ -114,8 +169,7 @@ class FaultTolerantCore(BinarySearchCore):
         if isinstance(msg, TokenMsg):
             self.suspected |= set(msg.suspects)
             self.suspected.discard(self.node_id)
-            if src in self.suspected:
-                self.suspected.discard(src)  # evidently alive after all
+            self.suspected.discard(src)  # evidently alive after all
         return super().on_message(src, msg, now)
 
     # -- detection ------------------------------------------------------------------------
@@ -124,7 +178,7 @@ class FaultTolerantCore(BinarySearchCore):
         effects = super().on_request(now)
         if self.ready and self.config.regen_timeout > 0:
             effects.append(SetTimer((_SUSPECT, self.req_seq),
-                                    self.config.regen_timeout))
+                                    self._suspect_delay()))
         return effects
 
     def on_timer(self, key: Hashable, now: float) -> List[Effect]:
@@ -143,7 +197,7 @@ class FaultTolerantCore(BinarySearchCore):
         if self.has_token or self._census is not None:
             return []
         self._probe_seq += 1
-        population = [x for x in range(self.n) if x != self.node_id]
+        population = [x for x in self._ring_members() if x != self.node_id]
         self._census = Census(self.node_id, self._probe_seq, population)
         effects: List[Effect] = [
             Send(x, WhoHasMsg(origin=self.node_id, probe_seq=self._probe_seq))
@@ -177,12 +231,37 @@ class FaultTolerantCore(BinarySearchCore):
         origin_holds = self.has_token or self.lent_to is not None
         if census.token_alive(origin_holds):
             # The token exists; we were just slow.  Re-arm detection.
-            return [SetTimer((_SUSPECT, self.req_seq), self.config.regen_timeout)]
+            return [SetTimer((_SUSPECT, self.req_seq), self._suspect_delay())]
+        _, fleet_max = census.freshest(self.last_visit)
+        progressed = self._fleet_max is not None and fleet_max > self._fleet_max
+        self._fleet_max = fleet_max
+        if progressed:
+            # Nobody *claims* the token, yet the fleet's freshest visit
+            # clock advanced since our previous census: the token is
+            # circulating and simply never at rest when polled (continuous
+            # rotation keeps it in flight almost all the time).  Minting
+            # here would coin a duplicate whose clock lags the live
+            # lineage.  Keep watching instead — at census cadence, not the
+            # full suspect delay: we are mid-episode, and if the progress
+            # was stale history the next census must come quickly.
+            return [SetTimer((_SUSPECT, self.req_seq),
+                             self.config.census_window)]
+        if self.config.regen_quorum:
+            # Partition-resilient mode: only a side that can still hear a
+            # majority of the ring may mint.  A minority island *parks* —
+            # it keeps probing, and on heal either hears the token or
+            # finally reaches quorum.  (Epoch fencing would retire a
+            # minority-minted duplicate anyway; parking avoids minting it
+            # in the first place.)
+            ring_size = len(self._ring_members())
+            if 2 * (census.replies + 1) <= ring_size:
+                return [SetTimer((_SUSPECT, self.req_seq),
+                                 self._suspect_delay())]
         self.suspected |= census.suspects()
-        ring_order = list(range(self.n))
+        ring_order = self._ring_members()
         regenerator = census.elect_regenerator(ring_order, self.last_visit)
         if regenerator is None:
-            return [SetTimer((_SUSPECT, self.req_seq), self.config.regen_timeout)]
+            return [SetTimer((_SUSPECT, self.req_seq), self._suspect_delay())]
         _, freshest_clock = census.freshest(self.last_visit)
         new_epoch = self._next_epoch(regenerator)
         new_clock = freshest_clock + self.ring_size()
@@ -194,7 +273,7 @@ class FaultTolerantCore(BinarySearchCore):
         else:
             effects.append(Send(regenerator, regen))
         # Keep watching: regeneration itself might be lost.
-        effects.append(SetTimer((_SUSPECT, self.req_seq), self.config.regen_timeout))
+        effects.append(SetTimer((_SUSPECT, self.req_seq), self._suspect_delay()))
         return effects
 
     # -- regeneration -------------------------------------------------------------------------

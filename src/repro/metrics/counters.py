@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-__all__ = ["MessageCounters"]
+__all__ = ["MessageCounters", "ReliabilityCounters"]
 
 #: Rotation hops plus loans and returns — every token movement.
 _TOKEN_PASS_TYPES = frozenset({"TokenMsg", "LoanMsg", "LoanReturnMsg"})
@@ -69,3 +69,41 @@ class MessageCounters:
         out["_cheap"] = self.cheap
         out["_total"] = self.total
         return out
+
+
+class ReliabilityCounters:
+    """Accounting for the asyncio reliability sublayer
+    (:mod:`repro.aio.reliability`).
+
+    - ``data_frames`` — expensive payloads framed for guaranteed delivery;
+    - ``retransmits`` — timeout-driven resends (backoff + jitter);
+    - ``acks`` — acknowledgements emitted by receivers;
+    - ``dedup_drops`` — duplicate frames suppressed before the core;
+    - ``give_ups`` — frames surrendered after the bounded retry budget
+      (the payload is genuinely lost; regeneration takes over from here).
+    """
+
+    __slots__ = ("data_frames", "retransmits", "acks", "dedup_drops",
+                 "give_ups")
+
+    def __init__(self) -> None:
+        self.data_frames = 0
+        self.retransmits = 0
+        self.acks = 0
+        self.dedup_drops = 0
+        self.give_ups = 0
+
+    @property
+    def delivery_attempts(self) -> int:
+        """First transmissions plus retransmissions."""
+        return self.data_frames + self.retransmits
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot for reporting."""
+        return {
+            "data_frames": self.data_frames,
+            "retransmits": self.retransmits,
+            "acks": self.acks,
+            "dedup_drops": self.dedup_drops,
+            "give_ups": self.give_ups,
+        }

@@ -25,7 +25,7 @@ from repro.core.messages import (
 )
 from repro.metrics.stats import mean, percentile
 
-__all__ = ["TraceEvent", "TraceRecorder"]
+__all__ = ["TraceEvent", "TraceRecorder", "RecoveryTracker"]
 
 
 class TraceEvent(NamedTuple):
@@ -139,4 +139,67 @@ class TraceRecorder:
             "mean_travel_per_grant": self.mean_travel_per_grant(),
             "max_search_depth": float(self.max_search_depth()),
             "load_imbalance": self.load_imbalance(),
+        }
+
+
+class RecoveryTracker:
+    """Mean-time-to-recovery bookkeeping for the fault-tolerant runtime.
+
+    Pairs each injected fault with the instant service is proven restored
+    and keeps the interval.  Keys are caller-chosen (a node id, a request
+    label); a repeated :meth:`fault` on an already-open key keeps the
+    *first* timestamp — the clock runs from the original outage, not the
+    latest aftershock.  Closing a key that was never opened is a no-op,
+    so recovery signals can be wired unconditionally.
+
+    Works on any monotonic clock: the DES ``sim.now``, the virtual asyncio
+    loop, or wall time — the tracker only ever subtracts.
+    """
+
+    def __init__(self) -> None:
+        self._open: Dict[object, float] = {}
+        #: Closed fault-to-recovery intervals, in clock units.
+        self.samples: List[float] = []
+
+    def fault(self, key: object, now: float) -> None:
+        """A fault on ``key`` was injected/detected at ``now``."""
+        self._open.setdefault(key, now)
+
+    def recovered(self, key: object, now: float) -> None:
+        """Service on ``key`` is proven back; closes the open interval."""
+        start = self._open.pop(key, None)
+        if start is not None:
+            self.samples.append(now - start)
+
+    def open_faults(self) -> List[object]:
+        """Keys with a fault still outstanding (unrecovered at readout)."""
+        return sorted(self._open, key=repr)
+
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mttr(self) -> float:
+        """Mean time to recovery over the closed intervals."""
+        return mean(self.samples)
+
+    def max_ttr(self) -> float:
+        """Worst recorded recovery time."""
+        return max(self.samples) if self.samples else 0.0
+
+    def ingest_supervisor_events(self, events: List[Dict]) -> None:
+        """Fold a :class:`~repro.aio.supervisor.ClusterSupervisor` event
+        log into the tracker: ``suspect`` opens a node's outage, ``clear``
+        (heartbeats resumed after repair) closes it."""
+        for event in events:
+            if event["event"] == "suspect":
+                self.fault(("node", event["node"]), event["t"])
+            elif event["event"] == "clear":
+                self.recovered(("node", event["node"]), event["t"])
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "recoveries": float(self.count()),
+            "mttr": self.mttr(),
+            "max_ttr": self.max_ttr(),
+            "unrecovered": float(len(self._open)),
         }

@@ -1,0 +1,186 @@
+"""Transport fault-surface edge cases: drops are observable, loss spares
+the reliable class, partitions park expensive traffic until heal."""
+
+import asyncio
+import random
+from dataclasses import dataclass
+
+from repro.aio.transport import AioTransport
+from repro.aio.virtualtime import run_virtual
+
+
+@dataclass(frozen=True)
+class Cheap:
+    body: str = "x"
+    reliable = False
+
+
+@dataclass(frozen=True)
+class Expensive:
+    body: str = "x"
+    reliable = True
+
+
+class TestDropAccounting:
+    def test_detach_mid_flight_counts_dropped(self):
+        async def main():
+            t = AioTransport(delay=0.05)
+            t.attach(0)
+            t.attach(1)
+            drops = []
+            t.on_drop.append(lambda s, d, m, r: drops.append((s, d, r)))
+            t.send(0, 1, Expensive())
+            t.detach(1)  # the message is still in flight
+            await asyncio.sleep(0.1)
+            assert t.dropped_count == 1
+            assert t.delivered_count == 0
+            assert drops == [(0, 1, "detached")]
+
+        run_virtual(main())
+
+    def test_on_send_fires_even_for_dropped(self):
+        async def main():
+            t = AioTransport(delay=0.0, loss_rate=0.999999,
+                             rng=random.Random(1))
+            t.attach(0)
+            t.attach(1)
+            sends, drops = [], []
+            t.on_send.append(lambda s, d, m: sends.append(m))
+            t.on_drop.append(lambda s, d, m, r: drops.append(r))
+            for _ in range(20):
+                t.send(0, 1, Cheap())
+            # Offered load is visible regardless of the messages' fate.
+            assert len(sends) == 20
+            assert len(drops) == 20
+            assert set(drops) == {"loss"}
+
+        run_virtual(main())
+
+    def test_crashed_destination_drops_with_reason(self):
+        async def main():
+            t = AioTransport(delay=0.01)
+            t.attach(0)
+            t.attach(1)
+            drops = []
+            t.on_drop.append(lambda s, d, m, r: drops.append(r))
+            t.crash(1)
+            t.send(0, 1, Expensive())
+            await asyncio.sleep(0.05)
+            assert drops == ["down"]
+            t.recover(1)
+            t.send(0, 1, Expensive())
+            await asyncio.sleep(0.05)
+            assert t.delivered_count == 1
+
+        run_virtual(main())
+
+
+class TestLossClass:
+    def test_loss_spares_reliable_messages(self):
+        async def main():
+            t = AioTransport(delay=0.0, loss_rate=0.9, rng=random.Random(7))
+            inbox = t.attach(1)
+            t.attach(0)
+            for _ in range(50):
+                t.send(0, 1, Expensive())
+            await asyncio.sleep(0.01)
+            # The expensive class is exempt from loss injection: all 50
+            # arrive even at 90 % configured loss.
+            assert inbox.qsize() == 50
+            assert t.dropped_count == 0
+
+        run_virtual(main())
+
+    def test_loss_applies_to_cheap_messages(self):
+        async def main():
+            t = AioTransport(delay=0.0, loss_rate=0.5, rng=random.Random(7))
+            inbox = t.attach(1)
+            t.attach(0)
+            for _ in range(200):
+                t.send(0, 1, Cheap())
+            await asyncio.sleep(0.01)
+            assert 0 < inbox.qsize() < 200
+            assert inbox.qsize() + t.dropped_count == 200
+
+        run_virtual(main())
+
+    def test_duplication_applies_to_cheap_only(self):
+        async def main():
+            t = AioTransport(delay=0.0, dup_rate=0.999999,
+                             rng=random.Random(3))
+            inbox = t.attach(1)
+            t.attach(0)
+            t.send(0, 1, Cheap())
+            t.send(0, 1, Expensive())
+            await asyncio.sleep(0.01)
+            # Cheap message duplicated; expensive delivered exactly once.
+            assert inbox.qsize() == 3
+
+        run_virtual(main())
+
+
+class TestPartitions:
+    def test_partition_parks_expensive_until_heal(self):
+        async def main():
+            t = AioTransport(delay=0.01)
+            inbox = t.attach(1)
+            t.attach(0)
+            t.partition(0, 1)
+            assert t.partitioned(0, 1) and t.partitioned(1, 0)
+            t.send(0, 1, Expensive("parked"))
+            await asyncio.sleep(0.05)
+            assert inbox.qsize() == 0
+            assert t.dropped_count == 0  # parked, not lost
+            t.heal(0, 1)
+            await asyncio.sleep(0.05)
+            src, msg = inbox.get_nowait()
+            assert (src, msg.body) == (0, "parked")
+
+        run_virtual(main())
+
+    def test_partition_drops_cheap(self):
+        async def main():
+            t = AioTransport(delay=0.01)
+            inbox = t.attach(1)
+            t.attach(0)
+            drops = []
+            t.on_drop.append(lambda s, d, m, r: drops.append(r))
+            t.partition(0, 1)
+            t.send(0, 1, Cheap())
+            await asyncio.sleep(0.05)
+            t.heal_all()
+            await asyncio.sleep(0.05)
+            # Cheap traffic over a blocked link is gone for good.
+            assert inbox.qsize() == 0
+            assert drops == ["partition"]
+
+        run_virtual(main())
+
+    def test_split_blocks_every_cross_link(self):
+        async def main():
+            t = AioTransport(delay=0.01)
+            for node in range(4):
+                t.attach(node)
+            t.split([0, 1], [2, 3])
+            for a in (0, 1):
+                for b in (2, 3):
+                    assert t.partitioned(a, b) and t.partitioned(b, a)
+            assert not t.partitioned(0, 1) and not t.partitioned(2, 3)
+            t.heal_all()
+            assert not t.partitioned(0, 2)
+
+        run_virtual(main())
+
+    def test_asymmetric_partition(self):
+        async def main():
+            t = AioTransport(delay=0.01)
+            inbox0 = t.attach(0)
+            inbox1 = t.attach(1)
+            t.partition(0, 1, symmetric=False)
+            t.send(0, 1, Expensive())  # blocked direction: parked
+            t.send(1, 0, Expensive())  # open direction: delivered
+            await asyncio.sleep(0.05)
+            assert inbox1.qsize() == 0
+            assert inbox0.qsize() == 1
+
+        run_virtual(main())

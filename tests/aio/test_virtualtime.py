@@ -1,0 +1,95 @@
+"""Virtual-time loop tests: instant sleeps, deterministic ordering,
+deadlock detection."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.aio.virtualtime import VirtualTimeDeadlock, run_virtual
+
+
+class TestVirtualTime:
+    def test_sleep_advances_virtual_not_wall_clock(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await asyncio.sleep(3600.0)
+            return loop.time() - t0
+
+        wall0 = time.monotonic()
+        elapsed = run_virtual(main())
+        wall = time.monotonic() - wall0
+        assert elapsed == pytest.approx(3600.0, abs=0.01)
+        assert wall < 5.0  # an hour of virtual time in (milli)seconds
+
+    def test_timers_fire_in_schedule_order(self):
+        async def main():
+            order = []
+
+            async def tick(label, delay):
+                await asyncio.sleep(delay)
+                order.append(label)
+
+            await asyncio.gather(
+                tick("c", 0.3), tick("a", 0.1), tick("b", 0.2))
+            return order
+
+        assert run_virtual(main()) == ["a", "b", "c"]
+
+    def test_bit_exact_across_runs(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            stamps = []
+
+            async def worker(i):
+                for _ in range(3):
+                    await asyncio.sleep(0.01 * (i + 1))
+                    stamps.append((i, loop.time()))
+
+            await asyncio.gather(*(worker(i) for i in range(4)))
+            return stamps
+
+        assert run_virtual(main()) == run_virtual(main())
+
+    def test_deadlock_detected(self):
+        async def main():
+            await asyncio.get_running_loop().create_future()  # never set
+
+        with pytest.raises(VirtualTimeDeadlock):
+            run_virtual(main())
+
+    def test_wait_for_timeout_under_virtual_time(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            never = loop.create_future()
+            t0 = loop.time()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(never, timeout=7.5)
+            return loop.time() - t0
+
+        assert run_virtual(main()) == pytest.approx(7.5, abs=0.01)
+
+    def test_return_value_passed_through(self):
+        async def main():
+            await asyncio.sleep(0.1)
+            return {"answer": 42}
+
+        assert run_virtual(main()) == {"answer": 42}
+
+    def test_stray_tasks_cancelled_on_exit(self):
+        cancelled = []
+
+        async def main():
+            async def orphan():
+                try:
+                    await asyncio.sleep(1e9)
+                except asyncio.CancelledError:
+                    cancelled.append(True)
+                    raise
+
+            asyncio.create_task(orphan())
+            await asyncio.sleep(0.01)
+
+        run_virtual(main())
+        assert cancelled == [True]

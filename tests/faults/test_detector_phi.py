@@ -1,0 +1,109 @@
+"""Phi-accrual failure detector unit tests (exponential-tail form)."""
+
+import math
+
+import pytest
+
+from repro.faults.detector import PhiAccrualDetector
+
+LN10 = math.log(10.0)
+
+
+class TestObservation:
+    def test_no_history_no_suspicion(self):
+        d = PhiAccrualDetector()
+        assert d.samples == 0
+        assert d.mean_interval() is None
+        assert d.phi(100.0) == 0.0
+        assert not d.suspicious(100.0, 0.1)
+        assert d.timeout_after(8.0) is None
+
+    def test_first_arrival_yields_no_interval(self):
+        d = PhiAccrualDetector()
+        d.observe(1.0)
+        assert d.samples == 0
+        assert d.last_arrival == 1.0
+
+    def test_mean_of_regular_cadence(self):
+        d = PhiAccrualDetector()
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+            d.observe(t)
+        assert d.samples == 4
+        assert d.mean_interval() == pytest.approx(1.0)
+        assert d.std_interval() == pytest.approx(0.0)
+
+    def test_window_evicts_old_intervals(self):
+        d = PhiAccrualDetector(window=2)
+        for t in (0.0, 10.0, 20.0, 21.0, 22.0):
+            d.observe(t)
+        # Only the last two intervals (both 1.0) survive the window.
+        assert d.samples == 2
+        assert d.mean_interval() == pytest.approx(1.0)
+
+    def test_out_of_order_arrival_ignored(self):
+        d = PhiAccrualDetector()
+        d.observe(5.0)
+        d.observe(3.0)  # clock went backwards: no negative interval
+        assert d.samples == 0
+
+    def test_zero_interval_floored(self):
+        d = PhiAccrualDetector(min_interval=1e-6)
+        d.observe(1.0)
+        d.observe(1.0)
+        assert d.mean_interval() == pytest.approx(1e-6)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(window=0)
+
+
+class TestSuspicion:
+    def _cadence(self, interval=1.0, beats=5):
+        d = PhiAccrualDetector()
+        for i in range(beats):
+            d.observe(i * interval)
+        return d
+
+    def test_phi_closed_form(self):
+        d = self._cadence(interval=1.0)
+        # phi(t) = elapsed / (mean * ln 10)
+        last = d.last_arrival
+        assert d.phi(last + 2.0) == pytest.approx(2.0 / LN10)
+
+    def test_phi_grows_with_silence(self):
+        d = self._cadence()
+        last = d.last_arrival
+        assert d.phi(last + 1.0) < d.phi(last + 5.0) < d.phi(last + 50.0)
+
+    def test_suspicious_threshold(self):
+        d = self._cadence(interval=1.0)
+        last = d.last_arrival
+        threshold = 8.0
+        horizon = threshold * 1.0 * LN10
+        assert not d.suspicious(last + horizon * 0.99, threshold)
+        assert d.suspicious(last + horizon * 1.01, threshold)
+
+    def test_timeout_after_inverts_phi(self):
+        d = self._cadence(interval=0.25)
+        threshold = 8.0
+        timeout = d.timeout_after(threshold)
+        assert timeout == pytest.approx(threshold * 0.25 * LN10)
+        last = d.last_arrival
+        assert d.phi(last + timeout) == pytest.approx(threshold)
+
+    def test_adapts_to_cadence(self):
+        fast = self._cadence(interval=0.01)
+        slow = self._cadence(interval=10.0)
+        # The adaptive timeout tracks the observed cadence: a slow ring
+        # waits proportionally longer before suspecting.
+        assert fast.timeout_after(8.0) < slow.timeout_after(8.0)
+        ratio = slow.timeout_after(8.0) / fast.timeout_after(8.0)
+        assert ratio == pytest.approx(1000.0)
+
+    def test_resumed_heartbeats_clear_suspicion(self):
+        d = self._cadence(interval=1.0)
+        last = d.last_arrival
+        silent = last + 100.0
+        assert d.suspicious(silent, 8.0)
+        d.observe(silent)  # the peer was merely slow
+        assert not d.suspicious(silent + 0.5, 8.0)
