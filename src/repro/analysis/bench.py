@@ -133,11 +133,9 @@ def _bench_modelcheck_explore(rounds: int) -> Dict[str, Any]:
 
     def once():
         start = time.perf_counter()
-        states, edges, complete = explore_graph(rewriter, initial)
+        graph = explore_graph(rewriter, initial)
         wall = time.perf_counter() - start
-        return wall, (len(states),
-                      sum(len(v) for v in edges.values()),
-                      complete)
+        return wall, (len(graph.states), graph.transitions, graph.complete)
 
     once()  # warmup
     wall, (states, transitions, complete) = min(
@@ -312,10 +310,66 @@ def _bench_aio_recovery(rounds: int) -> Dict[str, Any]:
     }
 
 
+def _bench_modelcheck_dpor(rounds: int) -> Dict[str, Any]:
+    """Persistent-set DPOR speedup on System BinarySearch (n = 4, data at
+    nodes 1-2, single-outstanding requests, 4 ring hops).
+
+    Runs full BFS once to pin the reference state/transition counts, then
+    times persistent-mode DPOR; the checksum pins both sides, so either an
+    exploration-count drift or a reduction regression fails ``--compare``.
+    The metric is the reduced exploration's throughput; ``speedup`` (full
+    transitions / reduced executions) rides along in the checksum floor-ed
+    to one decimal."""
+    from repro.specs import system_binary_search as bs
+    from repro.specs.modelcheck import (bound_data, bound_requests,
+                                        bound_visits, explore_graph)
+    from repro.trs.engine import Rewriter
+    from repro.trs.rules import RuleContext
+    from repro.verify.dpor import explore_dpor
+    from repro.verify.independence import IndependenceRelation
+
+    rules = bs.make_rules(4, restricted=True)
+    rules = bound_data(rules, 1, nodes=(1, 2))
+    rules = bound_requests(rules, "5")
+    rules = bound_visits(rules, 4, "4")
+    initial = bs.initial_state(4)
+    rewriter = Rewriter(rules, RuleContext())
+    relation = IndependenceRelation(rules)
+    graph = explore_graph(rewriter, initial)
+
+    def once():
+        start = time.perf_counter()
+        result = explore_dpor(rewriter, initial, mode="persistent",
+                              relation=relation)
+        return time.perf_counter() - start, result
+
+    once()  # warmup
+    wall, result = min((once() for _ in range(_REPEATS)),
+                       key=lambda pair: pair[0])
+    speedup = graph.transitions / max(result.executed, 1)
+    return {
+        "name": "modelcheck_dpor_n4",
+        "metric": "reduced_transitions_per_second",
+        "value": result.executed / wall if wall > 0 else 0.0,
+        "unit": "1/s",
+        "wall_s": wall,
+        "checksum": {
+            "full_states": len(graph.states),
+            "full_transitions": graph.transitions,
+            "full_complete": graph.complete,
+            "dpor_states": result.states,
+            "dpor_executed": result.executed,
+            "dpor_complete": result.complete,
+            "speedup_x10": int(speedup * 10),
+        },
+    }
+
+
 _BENCHES: List[Callable[[int], Dict[str, Any]]] = [
     _bench_des_throughput,
     _bench_trs_reduction,
     _bench_modelcheck_explore,
+    _bench_modelcheck_dpor,
     _bench_trs_bag_match,
     _bench_timer_churn,
     _bench_figure9_cell,

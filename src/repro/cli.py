@@ -175,6 +175,35 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="directory for counterexample files "
                            "(default fuzz-failures/)")
 
+    verify = sub.add_parser(
+        "verify",
+        help="independence analysis, DPOR-accelerated exploration, and "
+             "cutoff-certified parameterized verification of the ring "
+             "systems; emits signed verdict artifacts")
+    verify.add_argument("--system", default="binary_search",
+                        help="system to verify (default binary_search); "
+                             "see repro.verify.systems for keys")
+    verify.add_argument("--property", action="append", default=None,
+                        metavar="NAME", dest="properties",
+                        help="property to certify (repeatable; default: "
+                             "every property applicable to the system)")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON report")
+    verify.add_argument("--strict", action="store_true",
+                        help="exit nonzero unless every certification is "
+                             "complete and verified")
+    verify.add_argument("--max-states", type=int, default=200_000,
+                        help="exploration cap per run (default 200000)")
+    verify.add_argument("--out", metavar="DIR", default=None,
+                        help="write signed verdict artifacts to DIR")
+    verify.add_argument("--check", action="append", default=None,
+                        metavar="FILE",
+                        help="validate a committed verdict artifact instead "
+                             "of running (repeatable)")
+    verify.add_argument("--recompute", action="store_true",
+                        help="with --check: re-run the certification and "
+                             "require identical counts")
+
     chaos = sub.add_parser(
         "chaos",
         help="seeded crash/partition scenarios against the asyncio "
@@ -559,6 +588,99 @@ def _cmd_fuzz(args) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_verify(args) -> int:
+    import json as _json
+
+    from repro.errors import VerifyError
+    from repro.trs.engine import Rewriter
+    from repro.trs.rules import RuleContext
+    from repro.verify import (IndependenceRelation, certify, check_verdict,
+                              get_system, validate_dpor, validate_relation,
+                              write_verdict)
+
+    quiet = args.json
+
+    def say(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    if args.check:
+        reports = []
+        failed = False
+        for path in args.check:
+            try:
+                reports.append(check_verdict(path, recompute=args.recompute))
+                say(f"{path}: signature ok"
+                    + (", recomputation ok" if args.recompute else ""))
+            except (VerifyError, OSError) as exc:
+                failed = True
+                reports.append({"path": path, "error": str(exc)})
+                print(f"{path}: FAILED: {exc}", file=sys.stderr)
+        if args.json:
+            print(_json.dumps(reports, indent=2, sort_keys=True))
+        return 1 if failed else 0
+
+    try:
+        system = get_system(args.system)
+    except VerifyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    prop_names = args.properties or list(system.properties)
+
+    report = {"system": system.key, "title": system.title}
+    n = system.default_n
+    rules = system.bounded(n)
+    initial = system.initial(n)
+    rewriter = Rewriter(rules, RuleContext())
+    relation = IndependenceRelation(rules)
+    report["independence"] = relation.summary()
+    say(f"{system.title}: independence relation "
+        f"{report['independence']}")
+
+    violations, checks = validate_relation(rewriter, relation, initial)
+    report["diamond"] = {"checks": checks, "violations": len(violations)}
+    say(f"  diamond validation: {checks} commutation checks, "
+        f"{len(violations)} violation(s)")
+    for violation in violations[:5]:
+        print(f"    {violation['rule_a']} vs {violation['rule_b']}: "
+              f"{violation['reason']}", file=sys.stderr)
+
+    dpor = validate_dpor(rewriter, initial, max_states=args.max_states,
+                         relation=relation)
+    report["dpor_self_check"] = dpor
+    say(f"  sleep DPOR at n={n}: {dpor['dpor_states']} states / "
+        f"{dpor['dpor_executed']} executed vs full "
+        f"{dpor['full_states']} / {dpor['full_transitions']} "
+        f"(exact={dpor['exact']})")
+
+    verdicts = []
+    failed = bool(violations) or not dpor["exact"]
+    for prop_name in prop_names:
+        try:
+            say(f"  certifying {prop_name!r}:")
+            verdict = certify(system.key, prop_name,
+                              max_states=args.max_states, log=say)
+        except VerifyError as exc:
+            failed = True
+            verdicts.append({"property": prop_name, "error": str(exc)})
+            print(f"  {prop_name}: FAILED: {exc}", file=sys.stderr)
+            continue
+        verdicts.append(verdict)
+        if verdict["result"] != "verified":
+            failed = True
+        say(f"  {prop_name}: {verdict['result']} "
+            f"(cutoff {verdict['cutoff']}, "
+            f"{sum(r['states'] for r in verdict['runs'])} states total)")
+        if args.out:
+            path = write_verdict(verdict, args.out)
+            say(f"    verdict written to {path}")
+    report["verdicts"] = verdicts
+
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    return 1 if (failed and args.strict) else (1 if violations else 0)
+
+
 def _cmd_chaos(args) -> int:
     import os
 
@@ -622,6 +744,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "bench": _cmd_bench,
     "fuzz": _cmd_fuzz,
+    "verify": _cmd_verify,
     "chaos": _cmd_chaos,
 }
 

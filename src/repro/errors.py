@@ -80,5 +80,12 @@ class LintError(ReproError):
     :mod:`repro.lint.findings`."""
 
 
+class VerifyError(ReproError):
+    """The verification subsystem (``repro verify``) was misused or found a
+    structural problem: a rule set whose footprints cannot be extracted, a
+    verdict artifact that fails its schema or signature check, or a cutoff
+    request for a system without a ring topology."""
+
+
 class MembershipError(ReproError):
     """An invalid group-membership operation was attempted."""

@@ -133,18 +133,29 @@ class LintReport:
         return True
 
     def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view with deterministic ordering: findings
+        and passes are sorted by stable keys, so two reports with the same
+        content serialize identically regardless of pass scheduling."""
+        findings = sorted(
+            self.findings,
+            key=lambda f: (f.system, f.code, f.rule or "", f.message))
+        passes = sorted(
+            self.passes,
+            key=lambda p: (str(p.get("pass", "")), str(p.get("system", ""))))
         return {
             "ok": self.ok(),
             "summary": {
                 s: len(self.by_severity(s)) for s in Severity.ORDER
             },
-            "passes": self.passes,
-            "findings": [f.to_dict() for f in self.findings],
+            "passes": passes,
+            "findings": [f.to_dict() for f in findings],
         }
 
     def to_json(self, indent: int = 2) -> str:
-        """The machine-readable report emitted by ``repro lint --json``."""
-        return json.dumps(self.to_dict(), indent=indent)
+        """The machine-readable report emitted by ``repro lint --json``.
+        Byte-deterministic: ordering is fixed by :meth:`to_dict` and keys
+        are sorted."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def summary_line(self) -> str:
         counts = ", ".join(

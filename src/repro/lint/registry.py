@@ -198,6 +198,46 @@ def _filter_expected_idle(
     return kept
 
 
+def _run_independence(
+    report: LintReport,
+    system: str,
+    rules: RuleSet,
+    states: List[Term],
+) -> None:
+    """Independence-analysis pass: build the rule-pair independence
+    relation, flag rules whose opaque callables make the static footprint
+    an under-approximation (INFO — the verifier discharges the ambiguity
+    dynamically via diamond validation), and record the relation summary.
+    """
+    from repro.errors import VerifyError
+    from repro.lint.findings import Severity as _Sev
+    from repro.verify.independence import IndependenceRelation
+
+    try:
+        relation = IndependenceRelation(rules, probe_states=states[:8])
+    except VerifyError as exc:
+        report.add(LintFinding(
+            "footprint-extraction-failed", _Sev.ERROR, system, None,
+            str(exc)))
+        return
+    for rule_name, reasons in relation.ambiguous_rules().items():
+        probed = sorted(relation.callable_reads.get(rule_name, ()))
+        report.add(LintFinding(
+            "ambiguous-footprint", _Sev.INFO, system, rule_name,
+            f"opaque {', '.join(reasons)} may read components beyond the "
+            f"matched patterns; independence claims involving this rule "
+            f"are discharged by diamond validation, not trusted statically",
+            details={"reasons": list(reasons),
+                     "probed_component_reads": probed}))
+    summary = relation.summary()
+    report.record_pass(
+        "independence", system,
+        pairs=summary["pairs"],
+        independent=summary["independent"],
+        conditional=summary["conditional"],
+        ambiguous_rules=summary["ambiguous_rules"])
+
+
 def run_static(
     report: LintReport,
     max_states: int = 300,
@@ -218,6 +258,8 @@ def run_static(
             "rule-lint", target.name,
             rules=len(list(rules)), sampled_states=len(states),
             overlapping_pairs=len(overlap_pairs(rules)))
+
+        _run_independence(report, target.name, rules, states)
 
         if target.restriction is not None:
             coarse = target.restriction()

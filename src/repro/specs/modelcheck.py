@@ -20,8 +20,8 @@ from repro.trs.engine import Rewriter
 from repro.trs.rules import RuleSet
 from repro.trs.terms import Seq, Struct, Term
 
-__all__ = ["CheckResult", "bound_data", "bound_requests", "bound_visits",
-           "bound_visits_soft",
+__all__ = ["CheckResult", "GraphResult", "bound_data", "bound_requests",
+           "bound_visits", "bound_visits_soft",
            "explore", "explore_graph", "check_goal_always_reachable"]
 
 
@@ -32,6 +32,20 @@ class CheckResult(NamedTuple):
     transitions: int     #: transitions taken
     complete: bool       #: True when the frontier was exhausted (full
     #: verification up to the bounds); False when max_states was hit
+
+
+class GraphResult(NamedTuple):
+    """Outcome of a graph-building exploration (:func:`explore_graph`).
+
+    Unlike :class:`CheckResult` this keeps the explored objects themselves:
+    ``states`` is the set of reachable states and ``edges`` the adjacency
+    map, with ``transitions`` the total edge count precomputed (it is what
+    verdict artifacts and the pinned behaviour checksums record)."""
+
+    states: "set"        #: the reachable states themselves
+    edges: "dict"        #: ``edges[s]`` lists the successors of ``s``
+    transitions: int     #: total transitions taken (== sum of edge lists)
+    complete: bool       #: True when the frontier was exhausted
 
 
 def bound_data(rules: RuleSet, per_node_limit: int,
@@ -194,14 +208,16 @@ def explore_graph(
     rewriter: Rewriter,
     initial: Term,
     max_states: int = 100_000,
-):
-    """BFS like :func:`explore`, but return the full transition graph:
-    ``(states, edges, complete)`` where ``edges[s]`` lists the successors
-    of ``s``.  Used by the liveness check below."""
+) -> GraphResult:
+    """BFS like :func:`explore`, but return the full transition graph as a
+    :class:`GraphResult`: the state set, the adjacency map, the transition
+    count, and the completeness flag.  Used by the liveness check below and
+    by the ``repro verify`` DPOR validator."""
     seen = {initial}
     edges = {initial: []}
     frontier = [initial]
     cursor = 0  # list + cursor: pop(0) is O(n) per dequeue
+    transitions = 0
     complete = True
     while cursor < len(frontier):
         if len(seen) >= max_states:
@@ -211,6 +227,7 @@ def explore_graph(
         cursor += 1
         for _, succ in rewriter.successors(state):
             edges[state].append(succ)
+            transitions += 1
             if succ not in seen:
                 seen.add(succ)
                 edges.setdefault(succ, [])
@@ -218,7 +235,8 @@ def explore_graph(
                 if len(seen) >= max_states:
                     complete = False
                     break
-    return seen, edges, complete
+    return GraphResult(states=seen, edges=edges, transitions=transitions,
+                       complete=complete)
 
 
 def check_goal_always_reachable(
@@ -236,12 +254,12 @@ def check_goal_always_reachable(
     raises :class:`SpecError` naming a state from which the goal is
     unreachable.
     """
-    states, edges, complete = explore_graph(rewriter, initial, max_states)
+    states, edges, transitions, complete = explore_graph(
+        rewriter, initial, max_states)
     if not complete:
         # A truncated frontier would produce spurious "unreachable" verdicts
         # (paths may continue past the bound), so refuse to conclude.
-        return CheckResult(states=len(states),
-                           transitions=sum(len(v) for v in edges.values()),
+        return CheckResult(states=len(states), transitions=transitions,
                            complete=False)
     can_reach = {s for s in states if goal(s)}
     if not can_reach:
@@ -260,6 +278,5 @@ def check_goal_always_reachable(
         raise SpecError(
             f"{stuck} reachable state(s) can never reach the goal"
         )
-    return CheckResult(states=len(states),
-                       transitions=sum(len(v) for v in edges.values()),
+    return CheckResult(states=len(states), transitions=transitions,
                        complete=True)

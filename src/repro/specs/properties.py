@@ -21,7 +21,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import SpecError
 from repro.specs.common import BOT
-from repro.trs.terms import Bag, Seq, Struct, Term
+from repro.trs.terms import Atom, Bag, Seq, Struct, Term
 
 __all__ = [
     "components",
@@ -30,6 +30,7 @@ __all__ = [
     "prefix_property",
     "token_count",
     "token_uniqueness",
+    "search_direction_sound",
     "global_history",
 ]
 
@@ -141,3 +142,49 @@ def token_count(state: Term) -> int:
 def token_uniqueness(state: Term) -> bool:
     """Exactly one token exists (trivially true for System Token)."""
     return token_count(state) == 1
+
+
+def search_direction_sound(state: Term) -> bool:
+    """Rule 6's direction choice is always decidable (System BinarySearch).
+
+    Rule 6 forwards a ``gimme`` clockwise or counter-clockwise depending on
+    whether the receiver's history is a ``⊂_C`` ring-prefix of the carried
+    snapshot or vice versa (Figure 8); when the two are incomparable the
+    where-clause has no correct direction and vetoes, silently dropping the
+    search.  This checks that the veto branch is unreachable: for every
+    in-flight ``gimme`` the destination's local history is ring-comparable
+    with the carried history, and the remaining span is positive (a span-0
+    search is absorbed by rule 6a, never re-sent).
+    """
+    comp = components(state)
+    if "W" not in comp:   # only the search systems carry gimme traffic
+        return True
+    local: Dict[Term, Seq] = {}
+    for entry in comp["P"]:
+        if isinstance(entry, Struct) and entry.functor == "p":
+            history = entry.args[1]
+            if isinstance(history, Seq):
+                local[entry.args[0]] = history
+    from repro.specs.common import is_ring_prefix
+
+    for field in ("I", "O"):
+        for m in comp[field]:
+            if not (isinstance(m, Struct) and m.functor in ("in", "out")):
+                continue
+            payload = m.args[2]
+            if not (isinstance(payload, Struct)
+                    and payload.functor == "gimme"):
+                continue
+            span, carried = payload.args[0], payload.args[1]
+            if isinstance(span, Atom) and int(span.value) < 1:
+                return False
+            # ``in(x, y, m)`` is already at its destination x;
+            # ``out(x, y, m)`` is on its way to y.
+            dest = m.args[0] if m.functor == "in" else m.args[1]
+            history = local.get(dest)
+            if history is None or not isinstance(carried, Seq):
+                continue
+            if not (is_ring_prefix(history, carried)
+                    or is_ring_prefix(carried, history)):
+                return False
+    return True

@@ -1,0 +1,256 @@
+"""Cutoff-certified parameterized verification of the ring systems.
+
+A *cutoff* for a parameterized system and a property is a size ``c``
+such that the property holds for every ring size ``n`` iff it holds for
+all ``n ≤ c``.  For unidirectional token-passing rings, the cutoff
+results of Emerson–Namjoshi (POPL '95) and Aminof et al. (VMCAI '14)
+give small cutoffs as a function of how many processes a property
+indexes: ``2`` for single-indexed, ``4`` for pair-indexed, ``6`` for
+triple-indexed properties.
+
+All three properties checked here are pair-indexed — they constrain at
+most two processes (or process-attributed histories/messages) at a time:
+
+- **prefix-property** — every pair of histories is prefix-comparable;
+- **token-uniqueness** — no two token carriers coexist;
+- **search-direction** — a gimme's carried history is ring-comparable
+  with its (single) destination's local history, span positive.
+
+so certification explores every ring size ``n = 2 … 4`` exhaustively
+(with DPOR acceleration) and checks the property on every reachable
+state.  The verdict artifact records exactly what was machine-checked:
+
+- per-``n`` state/transition counts, completeness, and the sleep-DPOR
+  exactness cross-check;
+- the independence relation summary and its diamond-validation result;
+- a SHA-256 signature over the canonical JSON so CI can detect tampered
+  or stale artifacts.
+
+**What a verdict does and does not certify.**  ``verified`` means: for
+every ring size, *fault-free* reachability under the recorded Section-4
+bounding restrictions satisfies the property.  The cutoff lifts the
+result over the *ring size only* — not over the data/visit bounds (those
+remain bounded-exhaustive), not over faults (see ``repro.runtime`` for
+the fault-injection story), and the classical cutoff theorems are stated
+for token rings whose token carries no data, so their application to the
+valued-token systems here is a structured heuristic made honest by the
+exhaustive per-``n`` checks, not a new theorem.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import VerifyError
+from repro.specs.modelcheck import explore_graph
+from repro.specs.properties import (prefix_property, search_direction_sound,
+                                    token_uniqueness)
+from repro.trs.engine import Rewriter
+from repro.trs.rules import RuleContext
+from repro.trs.terms import Term
+from repro.verify.dpor import explore_dpor
+from repro.verify.independence import IndependenceRelation, validate_relation
+from repro.verify.systems import VerifySystem, get_system
+
+__all__ = [
+    "SCHEMA", "TOPOLOGY", "CUTOFFS", "PROPERTIES",
+    "certify", "sign", "verify_signature",
+    "write_verdict", "load_verdict", "check_verdict",
+]
+
+SCHEMA = "repro-verify-verdict/v1"
+TOPOLOGY = "unidirectional-token-ring"
+
+#: Cutoff by property index arity for unidirectional token-passing rings
+#: (Emerson–Namjoshi '95; Aminof et al. VMCAI '14, Table 1).
+CUTOFFS: Dict[int, int] = {1: 2, 2: 4, 3: 6}
+
+#: Signature-exempt keys: context that may differ between an artifact's
+#: producer and its checker without changing what was verified.
+_VOLATILE_KEYS = ("created_utc", "commit", "signature")
+
+
+class _Property:
+    def __init__(self, name: str, checker: Callable[[Term], bool],
+                 index_arity: int, description: str) -> None:
+        self.name = name
+        self.checker = checker
+        self.index_arity = index_arity
+        self.description = description
+
+
+PROPERTIES: Dict[str, _Property] = {
+    p.name: p for p in (
+        _Property(
+            "prefix-property", prefix_property, 2,
+            "every pair of histories in the state is prefix-comparable "
+            "(Definition 2)"),
+        _Property(
+            "token-uniqueness", token_uniqueness, 2,
+            "exactly one token exists: held or in flight, never two"),
+        _Property(
+            "search-direction", search_direction_sound, 2,
+            "every in-flight gimme has positive span and a destination "
+            "whose history is ring-comparable with the carried snapshot "
+            "(rule 6's direction choice is decidable)"),
+    )
+}
+
+
+def canonical_json(verdict: Dict[str, Any]) -> str:
+    """The canonical serialization the signature covers (volatile keys
+    excluded, keys sorted, no whitespace)."""
+    body = {k: v for k, v in verdict.items() if k not in _VOLATILE_KEYS}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def sign(verdict: Dict[str, Any]) -> str:
+    digest = hashlib.sha256(canonical_json(verdict).encode("utf-8"))
+    return f"sha256:{digest.hexdigest()}"
+
+
+def verify_signature(verdict: Dict[str, Any]) -> bool:
+    return verdict.get("signature") == sign(verdict)
+
+
+def _resolve(system: VerifySystem, prop_name: str) -> _Property:
+    if not system.ring:
+        raise VerifyError(
+            f"system {system.key!r} is not a token-passing ring; the "
+            f"cutoff table of {TOPOLOGY!r} does not apply")
+    prop = PROPERTIES.get(prop_name)
+    if prop is None:
+        raise VerifyError(
+            f"unknown property {prop_name!r}; expected one of "
+            f"{sorted(PROPERTIES)}")
+    if prop_name not in system.properties:
+        raise VerifyError(
+            f"property {prop_name!r} is not applicable to system "
+            f"{system.key!r} (applicable: {list(system.properties)})")
+    return prop
+
+
+def certify(
+    system_key: str,
+    prop_name: str,
+    max_states: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Certify ``prop_name`` on the parameterized ring ``system_key``.
+
+    Explores every ring size up to the cutoff with sleep-set DPOR
+    (cross-checked against full exploration for exactness), checks the
+    property on every reachable state, diamond-validates the independence
+    relation used, and returns the signed verdict dict."""
+    system = get_system(system_key)
+    prop = _resolve(system, prop_name)
+    cutoff = CUTOFFS[prop.index_arity]
+    cap = max_states or system.cert_max_states
+    say = log or (lambda msg: None)
+
+    runs: List[Dict[str, Any]] = []
+    diamond_checks = 0
+    diamond_violations: List[Dict[str, str]] = []
+    relation_summary: Dict[str, int] = {}
+    for n in range(2, cutoff + 1):
+        rules = system.bounded(n)
+        initial = system.initial(n)
+        rewriter = Rewriter(rules, RuleContext())
+        relation = IndependenceRelation(rules)
+        relation_summary = relation.summary()
+        graph = explore_graph(rewriter, initial, max_states=cap)
+        reduced = explore_dpor(rewriter, initial, mode="sleep",
+                               max_states=cap, relation=relation)
+        holds = all(prop.checker(state) for state in graph.states)
+        exact = reduced.state_set == frozenset(graph.states)
+        viols, checks = validate_relation(rewriter, relation, initial)
+        diamond_checks += checks
+        diamond_violations.extend(viols)
+        runs.append({
+            "n": n,
+            "states": len(graph.states),
+            "transitions": graph.transitions,
+            "executed": reduced.executed,
+            "complete": bool(graph.complete and reduced.complete),
+            "exact": bool(exact),
+            "holds": bool(holds),
+        })
+        say(f"  n={n}: states={len(graph.states)} "
+            f"transitions={graph.transitions} dpor_executed="
+            f"{reduced.executed} complete={graph.complete} holds={holds}")
+
+    verified = (not diamond_violations
+                and all(r["complete"] and r["exact"] and r["holds"]
+                        for r in runs))
+    verdict: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "topology": TOPOLOGY,
+        "system": system.key,
+        "property": prop_name,
+        "property_description": prop.description,
+        "index_arity": prop.index_arity,
+        "cutoff": cutoff,
+        "bounds": dict(system.bounds),
+        "runs": runs,
+        "independence": dict(
+            relation_summary,
+            diamond_checks=diamond_checks,
+            diamond_violations=len(diamond_violations),
+        ),
+        "result": "verified" if verified else "inconclusive",
+        "certifies": (
+            "fault-free reachability under the recorded bounds, for every "
+            "ring size (lifted from n <= cutoff); not fault tolerance, "
+            "not unbounded data/visits"),
+        "created_utc": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"),
+    }
+    verdict["signature"] = sign(verdict)
+    return verdict
+
+
+def write_verdict(verdict: Dict[str, Any], directory: str) -> str:
+    """Write ``verdict`` as ``<system>__<property>.json``; returns path."""
+    os.makedirs(directory, exist_ok=True)
+    name = f"{verdict['system']}__{verdict['property']}.json"
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(verdict, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_verdict(path: str) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        verdict = json.load(fh)
+    if not isinstance(verdict, dict) or verdict.get("schema") != SCHEMA:
+        raise VerifyError(
+            f"{path}: not a {SCHEMA} verdict artifact")
+    return verdict
+
+
+def check_verdict(path: str, recompute: bool = False) -> Dict[str, Any]:
+    """Validate a committed verdict artifact.
+
+    Always checks schema and signature integrity; with ``recompute`` it
+    re-runs the certification and requires identical per-n counts and the
+    same result — the CI replay that keeps committed artifacts honest.
+    Raises :class:`VerifyError` on any mismatch."""
+    verdict = load_verdict(path)
+    if not verify_signature(verdict):
+        raise VerifyError(f"{path}: signature mismatch (artifact edited "
+                          f"without re-signing, or content drifted)")
+    report = {"path": path, "signature": "ok", "result": verdict["result"]}
+    if recompute:
+        fresh = certify(verdict["system"], verdict["property"])
+        for key in ("cutoff", "runs", "result", "independence", "bounds"):
+            if fresh[key] != verdict[key]:
+                raise VerifyError(
+                    f"{path}: recomputation diverged on {key!r} — committed "
+                    f"{verdict[key]!r}, recomputed {fresh[key]!r}")
+        report["recompute"] = "ok"
+    return report

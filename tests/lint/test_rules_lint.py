@@ -124,11 +124,15 @@ class TestHonestSystems:
         # system, BinarySearch at n=5, including the loan machinery.
         report = LintReport()
         run_static(report, max_states=300)
-        assert report.ok(), [repr(f) for f in report]
-        assert not report.findings
+        assert report.ok(strict=True), [repr(f) for f in report]
+        # The only acceptable findings are the informational
+        # ambiguous-footprint notes from the independence pass.
+        assert all(f.code == "ambiguous-footprint" and f.severity == "info"
+                   for f in report.findings), [repr(f) for f in report]
         ran = {(p["pass"], p["system"]) for p in report.passes}
         for system in ("S", "S1", "Token", "MP", "Search", "BinarySearch"):
             assert ("rule-lint", system) in ran
+            assert ("independence", system) in ran
 
 
 class TestSampling:

@@ -114,11 +114,12 @@ class TestMachinery:
 
     def test_explore_graph_shape(self):
         rw = Rewriter(self._counter(3))
-        states, edges, complete = explore_graph(rw, struct("c", atom(0)))
-        assert complete
-        assert len(states) == 4
-        assert edges[struct("c", atom(0))] == [struct("c", atom(1))]
-        assert edges[struct("c", atom(3))] == []
+        graph = explore_graph(rw, struct("c", atom(0)))
+        assert graph.complete
+        assert len(graph.states) == 4
+        assert graph.transitions == 3
+        assert graph.edges[struct("c", atom(0))] == [struct("c", atom(1))]
+        assert graph.edges[struct("c", atom(3))] == []
 
 
 class TestPrettyPrinting:

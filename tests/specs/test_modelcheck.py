@@ -188,17 +188,19 @@ class TestGraphCountsPinned:
     def test_system_token_n3_graph(self):
         rw, init = system_token.make_system(3)
         rules = bound_data(rw.ruleset, 1)
-        states, edges, complete = explore_graph(
-            Rewriter(rules), init, max_states=20_000)
-        transitions = sum(len(succ) for succ in edges.values())
-        assert (len(states), transitions, complete) == (492, 1764, True)
+        graph = explore_graph(Rewriter(rules), init, max_states=20_000)
+        assert graph.transitions == sum(
+            len(succ) for succ in graph.edges.values())
+        assert (len(graph.states), graph.transitions,
+                graph.complete) == (492, 1764, True)
 
     def test_binary_search_n3_graph(self):
         rw, init = bs.make_system(3)
         rules = bound_data(rw.ruleset, 1, nodes=[2])
         rules = bound_requests(rules, "5")
         rules = bound_visits(rules, 5, "4")
-        states, edges, complete = explore_graph(
-            Rewriter(rules), init, max_states=20_000)
-        transitions = sum(len(succ) for succ in edges.values())
-        assert (len(states), transitions, complete) == (250, 393, True)
+        graph = explore_graph(Rewriter(rules), init, max_states=20_000)
+        assert graph.transitions == sum(
+            len(succ) for succ in graph.edges.values())
+        assert (len(graph.states), graph.transitions,
+                graph.complete) == (250, 393, True)

@@ -1,0 +1,123 @@
+"""Cutoff certification and verdict artifacts (repro.verify.cutoff)."""
+
+import copy
+import glob
+import json
+import os
+
+import pytest
+
+from repro.errors import VerifyError
+from repro.verify.cutoff import (CUTOFFS, SCHEMA, TOPOLOGY, certify,
+                                 check_verdict, load_verdict, sign,
+                                 verify_signature, write_verdict)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+VERDICT_DIR = os.path.abspath(os.path.join(REPO_ROOT, "benchmarks",
+                                           "verdicts"))
+
+
+@pytest.fixture(scope="module")
+def bs_prefix_verdict():
+    return certify("binary_search", "prefix-property")
+
+
+class TestCertify:
+    def test_binary_search_prefix_property(self, bs_prefix_verdict):
+        verdict = bs_prefix_verdict
+        assert verdict["schema"] == SCHEMA
+        assert verdict["topology"] == TOPOLOGY
+        assert verdict["cutoff"] == CUTOFFS[2] == 4
+        assert [r["n"] for r in verdict["runs"]] == [2, 3, 4]
+        for run in verdict["runs"]:
+            assert run["complete"] and run["exact"] and run["holds"]
+            assert 0 < run["executed"] <= run["transitions"]
+        assert verdict["result"] == "verified"
+        assert verdict["independence"]["diamond_violations"] == 0
+        assert verdict["independence"]["diamond_checks"] > 0
+
+    def test_pinned_counts_binary_search(self, bs_prefix_verdict):
+        # Behaviour checksum over the whole verify stack: footprints,
+        # instance keys, sleep sets, and the bounded rule sets all feed
+        # these numbers.
+        counts = [(r["n"], r["states"], r["transitions"])
+                  for r in bs_prefix_verdict["runs"]]
+        assert counts == [(2, 400, 632), (3, 317, 506), (4, 874, 1479)]
+
+    def test_signature_round_trip(self, bs_prefix_verdict):
+        assert verify_signature(bs_prefix_verdict)
+        assert bs_prefix_verdict["signature"] == sign(bs_prefix_verdict)
+
+    def test_volatile_keys_do_not_affect_signature(self, bs_prefix_verdict):
+        clone = dict(bs_prefix_verdict, created_utc="1970-01-01T00:00:00Z",
+                     commit="deadbeef")
+        assert verify_signature(clone)
+
+    def test_tampering_breaks_signature(self, bs_prefix_verdict):
+        tampered = copy.deepcopy(bs_prefix_verdict)
+        tampered["runs"][0]["states"] += 1
+        assert not verify_signature(tampered)
+
+    def test_non_ring_system_rejected(self):
+        with pytest.raises(VerifyError, match="ring"):
+            certify("s1", "prefix-property")
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(VerifyError, match="unknown property"):
+            certify("binary_search", "liveness")
+
+    def test_inapplicable_property_rejected(self):
+        with pytest.raises(VerifyError, match="not applicable"):
+            certify("token", "token-uniqueness")
+
+
+class TestVerdictFiles:
+    def test_write_load_check_round_trip(self, bs_prefix_verdict, tmp_path):
+        path = write_verdict(bs_prefix_verdict, str(tmp_path))
+        assert os.path.basename(path) == "binary_search__prefix-property.json"
+        assert load_verdict(path) == bs_prefix_verdict
+        report = check_verdict(path)
+        assert report["signature"] == "ok"
+        assert report["result"] == "verified"
+
+    def test_check_rejects_edited_artifact(self, bs_prefix_verdict, tmp_path):
+        path = write_verdict(bs_prefix_verdict, str(tmp_path))
+        data = json.load(open(path))
+        data["result"] = "inconclusive"
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        with pytest.raises(VerifyError, match="signature"):
+            check_verdict(path)
+
+    def test_check_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"schema": "something/else"}')
+        with pytest.raises(VerifyError, match="verdict artifact"):
+            check_verdict(str(path))
+
+
+class TestCommittedArtifacts:
+    """The artifacts under benchmarks/verdicts/ are part of the repo's
+    behaviour baseline; CI replays them with --check."""
+
+    def test_committed_artifacts_exist(self):
+        paths = glob.glob(os.path.join(VERDICT_DIR, "*.json"))
+        names = {os.path.basename(p) for p in paths}
+        assert "binary_search__prefix-property.json" in names
+        assert "binary_search__token-uniqueness.json" in names
+        assert "binary_search__search-direction.json" in names
+        assert "token__prefix-property.json" in names
+
+    def test_committed_artifacts_pass_integrity(self):
+        for path in glob.glob(os.path.join(VERDICT_DIR, "*.json")):
+            report = check_verdict(path)
+            assert report["signature"] == "ok"
+            assert report["result"] == "verified"
+
+    def test_committed_binary_search_matches_recomputation(
+            self, bs_prefix_verdict):
+        path = os.path.join(VERDICT_DIR,
+                            "binary_search__prefix-property.json")
+        committed = load_verdict(path)
+        for key in ("cutoff", "runs", "result", "independence", "bounds"):
+            assert committed[key] == bs_prefix_verdict[key]

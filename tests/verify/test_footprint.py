@@ -1,0 +1,88 @@
+"""Static footprint extraction (repro.verify.footprint)."""
+
+import pytest
+
+from repro.errors import VerifyError
+from repro.specs import system_binary_search as bs
+from repro.specs import system_s1, system_token
+from repro.trs.rules import Rule, RuleContext
+from repro.trs.terms import Atom, Bag, Struct, Var
+from repro.verify.footprint import (FRAME, READ, WRITE, footprint_of,
+                                    footprints, probe_callable_reads)
+
+
+class TestFootprintShapes:
+    def test_every_system_rule_has_a_footprint(self):
+        for rules in (system_s1.make_rules(restricted=True),
+                      system_token.make_rules(3, ring=True),
+                      bs.make_rules(4, restricted=True)):
+            fps = footprints(rules)
+            assert set(fps) == {r.name for r in rules}
+
+    def test_token_rule2_consumes_and_writes(self):
+        # Token rule 2 passes the token: writes T, rewrites P entries.
+        fps = footprints(system_token.make_rules(3, ring=True))
+        fp = fps["2"]
+        writes = [f for f in fp.scalar_fields() if f.access == WRITE]
+        assert writes, "token transfer must write the holder scalar"
+
+    def test_s1_rule3_reads_global_history(self):
+        # Rule 3 copies H into the P bag: H must classify as READ, not
+        # FRAME — the RHS uses it at another index.  (A FRAME here made
+        # sleep-set DPOR lose 564 of 812 states before the fix.)
+        fps = footprints(system_s1.make_rules(restricted=True))
+        h_field = [f for f in fps["3"].scalar_fields() if f.index == 1]
+        assert h_field and h_field[0].access == READ
+
+    def test_append_is_bag_produce_not_scalar_write(self):
+        # BS rule 5 appends to O and W via ``V -> Bag([...], rest=V)``;
+        # classifying that as a scalar write would drag the whole bag into
+        # the instance key and serialize against every bag toucher.
+        fps = footprints(bs.make_rules(4, restricted=True))
+        fp = fps["5"]
+        bag_indices = {f.index for f in fp.bag_fields()}
+        assert {4, 5} <= bag_indices          # O and W are bag appends
+        produced = [f for f in fp.bag_fields() if f.index == 5]
+        assert produced[0].produced and not produced[0].consumed
+
+    def test_key_vars_exclude_rest_and_frame(self):
+        fps = footprints(system_token.make_rules(3, ring=True))
+        fp = fps["1"]
+        assert "Q" not in fp.key_vars        # bag rest
+        assert "x" in fp.key_vars            # matched item variable
+
+    def test_opaque_reasons_recorded(self):
+        fps = footprints(bs.make_rules(4, restricted=True))
+        assert "where-clause" in fps["1"].opaque
+        assert "guard" in fps["7"].opaque
+
+    def test_non_struct_rule_rejected(self):
+        rule = Rule("odd", Var("x"), Var("x"))
+        with pytest.raises(VerifyError):
+            footprint_of(rule)
+
+    def test_mismatched_shapes_rejected(self):
+        rule = Rule("odd", Struct("A", (Var("x"),)),
+                    Struct("B", (Var("x"),)))
+        with pytest.raises(VerifyError):
+            footprint_of(rule)
+
+
+class TestCallableProbing:
+    def test_bulk_read_reports_bound_components(self):
+        # Rule 1's where-clause calls next_nonce, which scans the whole
+        # binding; the probe must report the components the rule binds.
+        rules = system_token.make_rules(2, ring=True)
+        fp = footprints(rules)["1"]
+        states = [system_token.initial_state(2)]
+        touched = probe_callable_reads(fp, states, RuleContext())
+        assert touched, "next_nonce's bulk read must be observed"
+
+    def test_rule_without_callables_reads_nothing(self):
+        # S1 rule 3 is pure patterns: no guard/where to probe.
+        rules = system_s1.make_rules(restricted=True)
+        fp = footprints(rules)["3"]
+        assert fp.opaque == ()
+        touched = probe_callable_reads(
+            fp, [system_s1.initial_state(2)], RuleContext())
+        assert touched == set()
