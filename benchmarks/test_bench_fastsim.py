@@ -1,0 +1,52 @@
+"""Fast-path benchmarks: the array-compiled engine and the sharded ring.
+
+Honest pytest-benchmark statistics for the two workloads the committed
+baseline pins (``des_cluster_64_fast``, ``ring_mega_n100k``, here at a
+smoke-sized ring), with the behavioural checksums asserted inline —
+a throughput number from a run that diverged from the object cores is
+not a result.
+"""
+
+from conftest import emit
+
+from repro.fastsim import FastCluster, ShardedRingSim, mega_requests
+from repro.workload.generators import FixedRateWorkload
+
+
+def test_fastsim_event_throughput(benchmark, results_dir):
+    """Compiled-engine events/second on the loaded 64-node cluster —
+    the same configuration as ``test_des_event_throughput``, whose
+    counts it must reproduce exactly."""
+    def run():
+        cluster = FastCluster.build("binary_search", n=64, seed=3)
+        cluster.add_workload(FixedRateWorkload(mean_interval=5.0))
+        cluster.run(rounds=40, max_events=2_000_000)
+        return cluster.executed_total, cluster.sent_total
+
+    events, messages = benchmark(run)
+    emit(results_dir, "fastsim_des_throughput",
+         f"fast DES run: {events} events, {messages} messages per iteration")
+    assert (events, messages) == (117920, 106047)
+
+
+def test_sharded_ring_throughput(benchmark, results_dir):
+    """Sharded mega-sim at smoke scale (4 worker processes, 10k nodes);
+    the checksum is partition-invariant, so any drift against the
+    single-process engine fails here before it confuses the timings."""
+    n, horizon = 10_000, 12_000.0
+    requests = mega_requests(n, seed=2001, count=64, horizon=horizon)
+
+    def run():
+        sim = ShardedRingSim(n, shards=4, digest=True, processes=True)
+        for at, node in requests:
+            sim.request_at(at, node)
+        return sim.run(until=horizon)
+
+    result = benchmark(run)
+    emit(results_dir, "fastsim_sharded_ring",
+         f"sharded ring run: {result.executed} events over "
+         f"{result.barriers} barriers, checksum {result.checksum}")
+    single = ShardedRingSim(n, shards=1, digest=True, processes=False)
+    for at, node in requests:
+        single.request_at(at, node)
+    assert single.run(until=horizon).checksum == result.checksum

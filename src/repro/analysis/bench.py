@@ -30,6 +30,7 @@ __all__ = [
     "compare",
     "validate",
     "write_baseline",
+    "write_profile",
     "default_stamp",
 ]
 
@@ -46,6 +47,11 @@ _RESULT_KEYS = ("name", "metric", "value", "unit", "wall_s", "checksum")
 #: Timed repetitions per throughput bench; the best is reported (same
 #: convention as pytest-benchmark's min — least noise, not average noise).
 _REPEATS = 3
+
+#: The array-compiled engine runs ~5x faster than the object stack, so a
+#: single repeat is cheap — and the shared host this suite runs on jitters
+#: by tens of percent between samples, which a larger best-of pool absorbs.
+_FAST_REPEATS = 6
 
 
 def _bench_des_throughput(rounds: int) -> Dict[str, Any]:
@@ -71,6 +77,74 @@ def _bench_des_throughput(rounds: int) -> Dict[str, Any]:
         "unit": "1/s",
         "wall_s": wall,
         "checksum": {"events": events, "messages": messages},
+    }
+
+
+def _bench_fastsim_throughput(rounds: int) -> Dict[str, Any]:
+    """Events/second of the array-compiled engine on the *same* loaded
+    64-node binary-search cluster as ``des_cluster_64``.
+
+    The checksum (event and message counts) must equal the object
+    bench's record for the same rounds — that equality is the whole
+    contract of :mod:`repro.fastsim`, and ``--compare`` enforces it
+    every time both benches run."""
+    from repro.fastsim import FastCluster
+    from repro.workload.generators import FixedRateWorkload
+
+    def once() -> Tuple[float, int, int]:
+        cluster = FastCluster.build("binary_search", n=64, seed=3)
+        cluster.add_workload(FixedRateWorkload(mean_interval=5.0))
+        start = time.perf_counter()
+        cluster.run(rounds=rounds, max_events=2_000_000)
+        wall = time.perf_counter() - start
+        return wall, cluster.executed_total, cluster.sent_total
+
+    once()  # warmup: intern/memo/view caches, code objects
+    wall, events, messages = min(once() for _ in range(_FAST_REPEATS))
+    return {
+        "name": "des_cluster_64_fast",
+        "metric": "events_per_second",
+        "value": events / wall if wall > 0 else 0.0,
+        "unit": "1/s",
+        "wall_s": wall,
+        "checksum": {"events": events, "messages": messages},
+    }
+
+
+def _bench_ring_mega(rounds: int) -> Dict[str, Any]:
+    """The 100,000-node sharded ring: four worker processes under
+    conservative windows (:mod:`repro.fastsim.shard`).
+
+    The horizon scales with ``rounds`` (40 -> 120k time units, a bit
+    over one full circulation) so ``--compare`` reruns reproduce the
+    checksum at the baseline's recorded rounds.  Wall time includes the
+    fork/pipe choreography on purpose: that overhead *is* the cost of
+    the sharded mode, and hiding it would overstate the win."""
+    from repro.fastsim.shard import ShardedRingSim, mega_requests
+
+    n, shards = 100_000, 4
+    horizon = 3_000.0 * rounds
+    requests = mega_requests(n, seed=2001, count=256, horizon=horizon)
+
+    def once():
+        sim = ShardedRingSim(n, shards, digest=True, processes=True)
+        for at, node in requests:
+            sim.request_at(at, node)
+        start = time.perf_counter()
+        result = sim.run(until=horizon)
+        return time.perf_counter() - start, result
+
+    wall, result = min((once() for _ in range(_REPEATS)),
+                       key=lambda pair: pair[0])
+    return {
+        "name": "ring_mega_n100k",
+        "metric": "events_per_second",
+        "value": result.executed / wall if wall > 0 else 0.0,
+        "unit": "1/s",
+        "wall_s": wall,
+        "checksum": {"events": result.executed, "messages": result.sent,
+                     "grants": result.grants,
+                     "digest": f"{result.crc_sum:016x}"},
     }
 
 
@@ -367,6 +441,8 @@ def _bench_modelcheck_dpor(rounds: int) -> Dict[str, Any]:
 
 _BENCHES: List[Callable[[int], Dict[str, Any]]] = [
     _bench_des_throughput,
+    _bench_fastsim_throughput,
+    _bench_ring_mega,
     _bench_trs_reduction,
     _bench_modelcheck_explore,
     _bench_modelcheck_dpor,
@@ -392,11 +468,51 @@ def _git_commit() -> str:
     return "unknown"
 
 
-def collect(rounds: int = 40) -> Dict[str, Any]:
+def _memory_probe(bench: Callable[[int], Dict[str, Any]], rounds: int,
+                  trace: bool) -> Dict[str, Any]:
+    """Run one bench with memory accounting attached to its record.
+
+    Always recorded (cheap, no timing distortion):
+
+    - ``ru_maxrss_kb`` — process peak RSS after the bench.  Kernel
+      high-water, monotone across the suite: the first bench to touch a
+      peak owns it, later records repeat it.
+    - ``objects_delta`` — live Python objects gained across the bench
+      (post-GC), which catches caches that keep growing run over run.
+
+    With ``trace`` (the CLI's ``--mem``), ``tracemalloc`` wraps the
+    bench and adds ``tracemalloc_peak_kb`` — exact peak *allocated*
+    bytes attributable to the bench alone.  Tracing slows allocation
+    several-fold, so traced documents carry honest-but-slow ``value``
+    fields; never commit one as the perf baseline.
+    """
+    import gc
+    import resource
+    import tracemalloc
+
+    gc.collect()
+    objects_before = len(gc.get_objects())
+    if trace:
+        tracemalloc.start()
+    record = bench(rounds)
+    memory: Dict[str, Any] = {}
+    if trace:
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        memory["tracemalloc_peak_kb"] = peak // 1024
+    gc.collect()
+    memory["ru_maxrss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    memory["objects_delta"] = len(gc.get_objects()) - objects_before
+    record["memory"] = memory
+    return record
+
+
+def collect(rounds: int = 40, trace_memory: bool = False) -> Dict[str, Any]:
     """Run the whole suite and return the baseline document."""
     from repro.lint.sanitizer import sanitize_enabled
 
-    results = [bench(rounds) for bench in _BENCHES]
+    results = [_memory_probe(bench, rounds, trace_memory)
+               for bench in _BENCHES]
     return {
         "schema": SCHEMA,
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -436,13 +552,16 @@ def validate(doc: Dict[str, Any]) -> None:
                 f"result {record['name']!r} value is not numeric")
 
 
-def compare(doc: Dict[str, Any],
-            baseline: Dict[str, Any]) -> Tuple[List[str], bool]:
+def compare(doc: Dict[str, Any], baseline: Dict[str, Any],
+            regression_pct: Optional[float] = None) -> Tuple[List[str], bool]:
     """Per-workload comparison of a fresh run against a stored baseline.
 
-    Returns ``(lines, ok)``.  ``ok`` is False exactly when *behaviour*
-    drifted: a shared workload's checksum differs, or a baseline workload
-    is missing from the new run.  Throughput deltas are reported in the
+    Returns ``(lines, ok)``.  ``ok`` is False when *behaviour* drifted —
+    a shared workload's checksum differs, or a baseline workload is
+    missing from the new run — and, when ``regression_pct`` is given,
+    also when a workload's metric regressed by more than that many
+    percent (lower throughput for rate metrics, longer wall time for
+    duration metrics).  Without a threshold, deltas are reported in the
     lines but never affect ``ok`` — perf varies with the host; the
     simulated behaviour must not.  Workloads new in ``doc`` are noted.
     """
@@ -462,12 +581,22 @@ def compare(doc: Dict[str, Any],
             continue
         old, new = base["value"], record["value"]
         pct = (new - old) / old * 100.0 if old else float("inf")
+        # For duration metrics ("s" units) bigger is worse; flip the
+        # sign so "regressed" always means a negative adjusted delta.
+        worse_pct = -pct if record["unit"].startswith("s") else pct
         same = record["checksum"] == base["checksum"]
         if not same:
+            ok = False
+        regressed = (regression_pct is not None
+                     and worse_pct < -abs(regression_pct))
+        if regressed:
             ok = False
         verdict = ("checksum OK" if same else
                    f"CHECKSUM MISMATCH: {record['checksum']!r} != "
                    f"{base['checksum']!r}")
+        if regressed:
+            verdict += (f", REGRESSION beyond {abs(regression_pct):.1f}% "
+                        "threshold")
         lines.append(
             f"{name}: {base['metric']} {old:.1f} -> {new:.1f} "
             f"{record['unit']} ({pct:+.1f}%), {verdict}")
@@ -475,6 +604,19 @@ def compare(doc: Dict[str, Any],
         if name not in known:
             lines.append(f"{name}: new workload (no baseline entry)")
     return lines, ok
+
+
+def write_profile(stats_text: str, out_dir: str = ".",
+                  stamp: Optional[str] = None) -> str:
+    """Persist a profile report as ``PROFILE_<stamp>.txt`` next to the
+    baseline of the same stamp; returns the path written."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"PROFILE_{stamp or default_stamp()}.txt")
+    with open(path, "w") as handle:
+        handle.write(stats_text)
+        if not stats_text.endswith("\n"):
+            handle.write("\n")
+    return path
 
 
 def default_stamp() -> str:

@@ -10,8 +10,9 @@ Usage (also available as ``python -m repro``):
     python -m repro ablations [--rounds 200]
     python -m repro refinement [-n 4 --steps 200]
     python -m repro lint [--json --strict --max-states 300]
-    python -m repro bench [--json --rounds 40 --out DIR]
+    python -m repro bench [--json --rounds 40 --out DIR --profile --mem]
     python -m repro bench --validate --compare benchmarks/baselines/BENCH_<stamp>.json
+    python -m repro bench --compare benchmarks/baselines --regression-threshold 30
     python -m repro fuzz [--seed 2001 --runs 50 --profile mixed]
     python -m repro fuzz --replay tests/fuzz/corpus/<case>.json
     python -m repro chaos [--seed 2001 --runs 20 --profile mixed]
@@ -28,7 +29,9 @@ and returns a process exit code of 0 on success.
 from __future__ import annotations
 
 import argparse
+import glob
 import math
+import os
 import sys
 from typing import List, Optional
 
@@ -133,9 +136,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           "run's document")
     ben.add_argument("--compare", metavar="FILE", default=None,
                      help="run the suite at the baseline's recorded rounds "
-                          "and print per-workload deltas against FILE; "
-                          "exits non-zero on checksum mismatch (behaviour "
-                          "drift) — value regressions are informational")
+                          "and print per-workload deltas against FILE (a "
+                          "directory picks its newest BENCH_*.json); exits "
+                          "non-zero on checksum mismatch (behaviour drift) "
+                          "— value regressions are informational unless "
+                          "--regression-threshold is set")
+    ben.add_argument("--regression-threshold", metavar="PCT", type=float,
+                     default=None,
+                     help="with --compare: also exit non-zero when a "
+                          "workload's metric regresses by more than PCT "
+                          "percent (throughput drop or wall-time increase)")
+    ben.add_argument("--profile", action="store_true",
+                     help="run the suite under cProfile and write the "
+                          "hotspot report as PROFILE_<stamp>.txt next to "
+                          "the BENCH json (profiling overhead makes the "
+                          "recorded values slower than a plain run)")
+    ben.add_argument("--mem", action="store_true",
+                     help="wrap each workload in tracemalloc and record "
+                          "exact peak allocation per workload (slows the "
+                          "run; peak-RSS and object counts are always "
+                          "recorded)")
 
     lint = sub.add_parser(
         "lint",
@@ -465,8 +485,17 @@ def _cmd_bench(args) -> int:
         return 0
 
     if args.compare is not None:
+        baseline_path = args.compare
+        if os.path.isdir(baseline_path):
+            candidates = sorted(
+                glob.glob(os.path.join(baseline_path, "BENCH_*.json")))
+            if not candidates:
+                print(f"error: no BENCH_*.json under {baseline_path}",
+                      file=sys.stderr)
+                return 2
+            baseline_path = candidates[-1]
         try:
-            with open(args.compare) as handle:
+            with open(baseline_path) as handle:
                 baseline = json.load(handle)
             bench.validate(baseline)
         except (OSError, ValueError) as exc:
@@ -475,25 +504,52 @@ def _cmd_bench(args) -> int:
         except BenchSchemaError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        print(f"baseline file: {baseline_path} "
+              f"(commit {baseline.get('commit', 'unknown')[:12]}, "
+              f"rounds {baseline['rounds']})")
         # Checksums are rounds-dependent, so the comparison run must use
         # the baseline's recorded rounds, not the CLI default.
         doc = bench.collect(rounds=baseline["rounds"])
         if args.validate is not None:
             bench.validate(doc)
-        lines, ok = bench.compare(doc, baseline)
+        lines, ok = bench.compare(doc, baseline,
+                                  regression_pct=args.regression_threshold)
         for line in lines:
             print(line)
         if not ok:
-            print(f"bench compare vs {args.compare}: BEHAVIOUR DRIFT "
-                  "(checksum mismatch or missing workload)",
-                  file=sys.stderr)
+            print(f"bench compare vs {baseline_path}: FAILED "
+                  "(checksum mismatch, missing workload, or regression "
+                  "beyond threshold)", file=sys.stderr)
             return 1
-        print(f"bench compare vs {args.compare}: OK "
-              "(value deltas are informational)")
+        suffix = ("value deltas are informational"
+                  if args.regression_threshold is None else
+                  f"within the {args.regression_threshold:.1f}% threshold")
+        print(f"bench compare vs {baseline_path}: OK ({suffix})")
         return 0
 
-    doc = bench.collect(rounds=args.rounds)
-    path = bench.write_baseline(doc, out_dir=args.out)
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        doc = bench.collect(rounds=args.rounds, trace_memory=args.mem)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        buffer.write("Top 30 by cumulative time\n")
+        stats.sort_stats("cumulative").print_stats(30)
+        buffer.write("\nTop 30 by internal time\n")
+        stats.sort_stats("tottime").print_stats(30)
+        stamp = bench.default_stamp()
+        path = bench.write_baseline(doc, out_dir=args.out, stamp=stamp)
+        profile_path = bench.write_profile(buffer.getvalue(),
+                                           out_dir=args.out, stamp=stamp)
+        print(f"wrote {profile_path}", file=sys.stderr)
+    else:
+        doc = bench.collect(rounds=args.rounds, trace_memory=args.mem)
+        path = bench.write_baseline(doc, out_dir=args.out)
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:

@@ -89,3 +89,13 @@ class VerifyError(ReproError):
 
 class MembershipError(ReproError):
     """An invalid group-membership operation was attempted."""
+
+
+class FastSimUnsupportedError(ReproError):
+    """A configuration outside the array-compiled fast path was requested.
+
+    The fast engine (:mod:`repro.fastsim`) mirrors the object cores
+    bit-for-bit only over a declared support matrix (ring / binary-search
+    protocols, no fault injection, auto-release grants).  Anything outside
+    it raises this instead of silently diverging; callers fall back to
+    :class:`repro.core.cluster.Cluster`."""

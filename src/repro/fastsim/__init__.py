@@ -1,0 +1,36 @@
+"""Array-compiled fast simulation cores (the ``fast as the hardware
+allows`` ROADMAP item).
+
+:class:`FastCluster` is a drop-in stand-in for
+:class:`repro.core.cluster.Cluster` over a declared support matrix
+(ring / binary-search protocols, fault-free runs, auto-release grants)
+that executes the same simulation 5-10x faster by compiling node state
+into flat columns and messages into plain tuples — see
+:mod:`repro.fastsim.state` for the layout and the equivalence contract,
+and :mod:`repro.fastsim.shard` for the process-sharded mega-sim built
+on top of it.
+
+Anything outside the support matrix raises
+:class:`repro.errors.FastSimUnsupportedError`; callers fall back to the
+object cluster.
+"""
+
+from repro.fastsim.cluster import FastCluster
+from repro.fastsim.compiled import Engine, compile_engine
+from repro.fastsim.diff import DiffReport, diff_case, diff_corpus
+from repro.fastsim.shard import MegaResult, ShardedRingSim, mega_requests
+from repro.fastsim.state import ArrayState, unsupported_reason
+
+__all__ = [
+    "ArrayState",
+    "DiffReport",
+    "Engine",
+    "FastCluster",
+    "MegaResult",
+    "ShardedRingSim",
+    "compile_engine",
+    "diff_case",
+    "diff_corpus",
+    "mega_requests",
+    "unsupported_reason",
+]

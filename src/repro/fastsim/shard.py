@@ -1,0 +1,527 @@
+"""Process-sharded mega-simulation of the token ring.
+
+Scales the array-compiled simulation past one process: the ring
+``[0, n)`` is cut into ``shards`` contiguous segments, each owned by a
+worker process running a segment-local event loop, and a controller
+advances them under **conservative time windows** — the classic
+lookahead argument, specialized to the ring:
+
+- the only cross-segment messages are token hops across a boundary, and
+  every hop takes at least ``d_cross`` (the constant per-hop delay);
+- a segment that neither holds the token nor has one in flight toward
+  it cannot emit *anything*, whatever its pending request events say —
+  its earliest-emission bound is infinite;
+- therefore shard ``k`` may safely execute every event strictly before
+  ``min over j != k of next_emit(j) + d_cross``: nothing the other
+  shards do can reach it earlier.
+
+Because at most one segment can emit (one token), the bound collapses
+to a hand-off: the holder's window is unbounded (it sweeps its whole
+segment in one go) while the others clear their pending request events.
+Barriers are proportional to boundary crossings — ``shards`` per
+circulation — not to simulated time, so a 100k-node ring advances
+100k hops between synchronizations, not one.
+
+Equivalence is the same currency as everywhere in :mod:`repro.fastsim`:
+a sharded run is **bit-identical** to the single-process engine — same
+executed-event count, same send stream (pinned by CRC32 digests), same
+grants and responsiveness samples — and invariant under the partition
+(``shards`` = 1, 2, 4 ... agree checksum-for-checksum).  The segment
+engine replicates the compiled ring arm exactly, including the
+``(time, seq)`` tie-break that lets a request scheduled at time *t* win
+against a token arriving at *t*; request events carry their global
+schedule index as ``seq`` while deliveries sort after every request
+(``_SEQ_DELIVERY`` base), mirroring the single-process engine, where
+``request_at`` burns seqs 0..k-1 before the first send.
+
+The support matrix is ring-shaped on purpose: ``ring`` protocol,
+constant delay, lossless links, pre-pinned request schedules (no
+workload RNG inside the run).  Those are exactly the conditions under
+which the simulation consumes *zero* RNG draws, which is what makes a
+partition-invariant parallel run possible at all.  Binary search is out
+of scope here — its gimme traffic crosses half the ring per hop and its
+loss/dup draws impose a global RNG order (and its served carries would
+need re-interning through ``_INTERN.setdefault`` on every unpickle);
+use the single-process :class:`~repro.fastsim.FastCluster` for it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from multiprocessing import Pipe, Process, get_context
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError, FastSimUnsupportedError, ProtocolError
+
+__all__ = [
+    "MegaResult",
+    "RingSegment",
+    "ShardedRingSim",
+    "mega_requests",
+    "plan_segments",
+]
+
+_INF = float("inf")
+
+#: Deliveries sort after every request event at equal times (the single
+#: process engine assigns request seqs first, send seqs later).
+_SEQ_DELIVERY = 1 << 40
+
+#: Mask for the order-insensitive digest (sum of per-record CRC32s).
+_MASK64 = (1 << 64) - 1
+
+
+def plan_segments(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Cut ``[0, n)`` into ``shards`` contiguous ``[lo, hi)`` segments.
+
+    Sizes differ by at most one; every node lands in exactly one
+    segment, so cross-segment traffic is exactly the boundary hops.
+    """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if shards > n:
+        raise ConfigError(f"cannot cut {n} nodes into {shards} segments")
+    base, extra = divmod(n, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for k in range(shards):
+        hi = lo + base + (1 if k < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def mega_requests(n: int, seed: int, count: int,
+                  horizon: float) -> List[Tuple[float, int]]:
+    """A pinned mega-sim request schedule.
+
+    All randomness is spent *before* the run (this is what keeps the
+    sharded execution deterministic); the schedule is sorted so global
+    seq order equals time order.
+    """
+    import random
+
+    rng = random.Random(seed)
+    return sorted((round(rng.uniform(0.0, horizon * 0.8), 3),
+                   rng.randrange(n)) for _ in range(count))
+
+
+class RingSegment:
+    """One contiguous ring segment ``[lo, hi)`` with its event loop.
+
+    Mirrors the compiled engine's ring arm field-for-field over the
+    mega support matrix (default config: no service time, no idle
+    pause).  Runs inline or inside a worker process — the controller
+    talks to both through the same three methods: :meth:`status`,
+    :meth:`run_window`, :meth:`finish`.
+    """
+
+    def __init__(self, n: int, lo: int, hi: int, delay: float,
+                 horizon: float,
+                 requests: List[Tuple[int, float, int]],
+                 digest: bool = False) -> None:
+        self.n = n
+        self.lo = lo
+        self.hi = hi
+        self.delay = delay
+        self.horizon = horizon
+        self.digest = digest
+        size = hi - lo
+        self.ready = bytearray(size)
+        self.has_token = bytearray(size)
+        self.clock = [0] * size
+        self.round_no = [0] * size
+        self.last_visit = [-1] * size
+        self.req_seq = [0] * size
+        self.granted_seq = [-1] * size
+        self.waiting = [-1] * size
+        self.now = 0.0
+        self.executed = 0
+        self.sent = 0
+        self.grants = 0
+        self.rounds_seen = 0
+        self.crc_chain = 0          # streaming CRC (order-sensitive)
+        self.crc_sum = 0            # per-record CRC sum (order-free)
+        self.applog: List[Tuple[int, int, int, float]] = []
+        self.outbox: List[Tuple[float, int, int, int]] = []
+        self._send_seq = _SEQ_DELIVERY
+        # heap entries: (time, seq, is_token, node, clk, rnd)
+        self.heap: List[tuple] = [(t, gseq, 0, node, 0, 0)
+                                  for gseq, t, node in requests]
+        heapq.heapify(self.heap)
+        if lo == 0:
+            # Initial holder: Engine.start() -> advance(0) at time zero.
+            self.has_token[0] = 1
+            self.last_visit[0] = 0
+            self._advance(0)
+
+    # -- protocol (compiled ring arm, segment-local) -----------------------
+
+    def _send_token(self, src: int, dst: int, clk: int, rnd: int) -> None:
+        self.sent += 1
+        if self.digest:
+            record = (f"{self.now:.6f}|{src}|{dst}|TokenMsg(clock={clk}, "
+                      f"round_no={rnd}, served=(), membership=None, "
+                      f"epoch=0, suspects=())").encode("utf-8")
+            self.crc_chain = zlib.crc32(record, self.crc_chain)
+            self.crc_sum = (self.crc_sum + zlib.crc32(record)) & _MASK64
+        t = self.now + self.delay
+        if self.lo <= dst < self.hi:
+            heapq.heappush(self.heap, (t, self._send_seq, 1, dst, clk, rnd))
+            self._send_seq += 1
+        else:
+            self.outbox.append((t, dst, clk, rnd))
+
+    def _advance(self, node: int) -> None:
+        i = node - self.lo
+        if self.ready[i]:
+            self.ready[i] = 0
+            s = self.req_seq[i]
+            self.granted_seq[i] = s
+            w = self.waiting[i]
+            if w >= 0:
+                self.waiting[i] = -1
+                self.applog.append((1, node, w, self.now))
+                self.grants += 1
+        if self.n == 1:
+            return
+        self.has_token[i] = 0
+        succ = node + 1
+        if succ == self.n:
+            succ = 0
+        self._send_token(node, succ, self.clock[i] + 1,
+                         self.round_no[i] + 1 if succ == 0
+                         else self.round_no[i])
+
+    def _on_token(self, node: int, clk: int, rnd: int) -> None:
+        i = node - self.lo
+        if self.has_token[i]:
+            raise ProtocolError(f"node {node} received a second token")
+        self.has_token[i] = 1
+        self.clock[i] = clk
+        self.round_no[i] = rnd
+        self.last_visit[i] = clk
+        r = clk // self.n
+        if r > self.rounds_seen:
+            self.rounds_seen = r
+        self._advance(node)
+
+    def _on_request(self, node: int) -> None:
+        i = node - self.lo
+        if self.waiting[i] >= 0:
+            return
+        s = self.req_seq[i] + 1
+        self.waiting[i] = s
+        self.applog.append((0, node, s, self.now))
+        self.ready[i] = 1
+        self.req_seq[i] = s
+        if self.has_token[i]:
+            self._advance(node)
+
+    # -- controller interface ----------------------------------------------
+
+    def inject(self, messages: List[Tuple[float, int, int, int]]) -> None:
+        """Queue cross-segment token arrivals forwarded by the controller."""
+        for t, dst, clk, rnd in messages:
+            heapq.heappush(self.heap, (t, self._send_seq, 1, dst, clk, rnd))
+            self._send_seq += 1
+
+    def status(self) -> Tuple[float, float]:
+        """``(next_event_time, next_emit_time)``.
+
+        The emission bound is the conservative core of the windowing: a
+        segment with no token anywhere in its queue or hands reports
+        infinity, licensing every other shard to run past its pending
+        (silent) request events.
+        """
+        nt = self.heap[0][0] if self.heap else _INF
+        holding = any(self.has_token)
+        queued_token = any(e[2] for e in self.heap)
+        return nt, (nt if (holding or queued_token) else _INF)
+
+    def run_window(self, bound: float) -> List[Tuple[float, int, int, int]]:
+        """Execute events with ``t < bound`` and ``t <= horizon``; drain
+        and return the outbox of boundary crossings.
+
+        The window ends early the moment a cross-segment message is
+        emitted: that emission invalidates every bound the controller
+        computed from the pre-window statuses (the token now exists
+        outside this segment and can circle back), so the safe move is
+        to stop, report, and let the controller re-derive windows.
+        Without this cut a token-holding shard would sweep its request
+        events all the way to the horizon and then process the returning
+        token against `ready` flags from the future.
+        """
+        heap = self.heap
+        horizon = self.horizon
+        while heap and not self.outbox:
+            t = heap[0][0]
+            if t >= bound or t > horizon:
+                break
+            _, _, is_token, node, clk, rnd = heapq.heappop(heap)
+            self.now = t
+            self.executed += 1
+            if is_token:
+                self._on_token(node, clk, rnd)
+            else:
+                self._on_request(node)
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def finish(self) -> Dict:
+        """Final per-segment statistics (the run sweeps ``now`` to the
+        horizon exactly like the engine's drained/over-bound paths)."""
+        self.now = self.horizon
+        return {
+            "executed": self.executed,
+            "sent": self.sent,
+            "grants": self.grants,
+            "rounds_seen": self.rounds_seen,
+            "applog": self.applog,
+            "crc_chain": self.crc_chain,
+            "crc_sum": self.crc_sum,
+        }
+
+
+def _worker_main(conn, n: int, lo: int, hi: int, delay: float,
+                 horizon: float, requests: List[Tuple[int, float, int]],
+                 digest: bool) -> None:
+    """Worker-process loop: one segment, command pipe to the controller."""
+    segment = RingSegment(n, lo, hi, delay, horizon, requests, digest)
+    try:
+        while True:
+            op, payload = conn.recv()
+            if op == "window":
+                bound, injections = payload
+                segment.inject(injections)
+                outbox = segment.run_window(bound)
+                conn.send((segment.status(), outbox))
+            elif op == "finish":
+                conn.send(segment.finish())
+                return
+    finally:
+        conn.close()
+
+
+class _InlineWorker:
+    """Same wire protocol as a process worker, executed in-process.
+
+    Used by tests and small runs where fork-and-pipe overhead would
+    dominate; identical code path through :class:`RingSegment`, so
+    partition-invariance checks cover the process mode's logic too.
+    """
+
+    def __init__(self, segment: RingSegment) -> None:
+        self.segment = segment
+
+    def window(self, bound: float, injections: List[tuple]):
+        self.segment.inject(injections)
+        outbox = self.segment.run_window(bound)
+        return self.segment.status(), outbox
+
+    def finish(self) -> Dict:
+        return self.segment.finish()
+
+    def close(self) -> None:  # interface parity with _PipeWorker
+        pass
+
+
+class _PipeWorker:
+    """Controller-side handle for one forked segment process."""
+
+    def __init__(self, ctx, n: int, lo: int, hi: int, delay: float,
+                 horizon: float, requests: List[tuple],
+                 digest: bool) -> None:
+        self.conn, child = Pipe()
+        self.process: Process = ctx.Process(
+            target=_worker_main,
+            args=(child, n, lo, hi, delay, horizon, requests, digest),
+            daemon=True)
+        self.process.start()
+        child.close()
+
+    def window(self, bound: float, injections: List[tuple]):
+        self.conn.send(("window", (bound, injections)))
+        return self.conn.recv()
+
+    def finish(self) -> Dict:
+        self.conn.send(("finish", None))
+        stats = self.conn.recv()
+        self.conn.close()
+        self.process.join(timeout=30)
+        return stats
+
+    def close(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=10)
+
+
+@dataclass
+class MegaResult:
+    """Merged outcome of a sharded run."""
+
+    n: int
+    shards: int
+    horizon: float
+    executed: int
+    sent: int
+    grants: int
+    rounds: int
+    barriers: int
+    crc_sum: int
+    crc_chain: Optional[int] = None     # only meaningful for shards == 1
+    applog: List[Tuple[int, int, int, float]] = field(default_factory=list)
+
+    @property
+    def checksum(self) -> str:
+        """Partition-invariant run fingerprint: counts plus the
+        order-insensitive send digest."""
+        return (f"{self.executed}-{self.sent}-{self.grants}-"
+                f"{self.crc_sum:016x}")
+
+    def responsiveness_samples(self) -> List[float]:
+        """Grant-minus-request times, replayed from the merged applog."""
+        from repro.metrics.responsiveness import ResponsivenessTracker
+
+        tracker = ResponsivenessTracker()
+        for kind, node, req_seq, time in self.applog:
+            if kind == 0:
+                tracker.on_request(node, req_seq, time)
+            else:
+                tracker.on_grant(node, req_seq, time)
+        return list(tracker.responsiveness_samples)
+
+
+class ShardedRingSim:
+    """Controller: cut the ring, spawn workers, drive windows, merge.
+
+    ``processes=False`` runs every segment inline (single process, same
+    segment code); ``processes=True`` forks one worker per segment and
+    speaks the window protocol over pipes.
+    """
+
+    def __init__(self, n: int, shards: int,
+                 config: Optional[ProtocolConfig] = None,
+                 delay: float = 1.0,
+                 digest: bool = False,
+                 processes: bool = True) -> None:
+        if n < 2:
+            raise ConfigError(f"mega-sim needs n >= 2, got {n}")
+        config = config if config is not None else ProtocolConfig()
+        reason = self._unsupported(config, delay)
+        if reason is not None:
+            raise FastSimUnsupportedError(reason)
+        self.n = n
+        self.shards = shards
+        self.delay = delay
+        self.digest = digest
+        self.processes = processes
+        self.segments = plan_segments(n, shards)
+        self.requests: List[Tuple[float, int]] = []
+
+    @staticmethod
+    def _unsupported(config: ProtocolConfig, delay: float) -> Optional[str]:
+        if config.service_time > 0 or config.idle_pause > 0:
+            return "mega-sim supports the zero-hold ring only"
+        if config.hold_until_release:
+            return "hold_until_release needs application-driven releases"
+        if delay <= 0:
+            return "conservative windows need a positive hop delay"
+        return None
+
+    def request_at(self, time: float, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise ConfigError(f"node {node} out of range")
+        self.requests.append((time, node))
+
+    def run(self, until: float) -> MegaResult:
+        """Run the sharded simulation to the horizon and merge."""
+        per_shard: List[List[tuple]] = [[] for _ in self.segments]
+        for gseq, (time, node) in enumerate(self.requests):
+            per_shard[self._shard_of(node)].append((gseq, time, node))
+
+        workers: List[object] = []
+        if self.processes:
+            ctx = get_context("fork")
+            for (lo, hi), reqs in zip(self.segments, per_shard):
+                workers.append(_PipeWorker(ctx, self.n, lo, hi, self.delay,
+                                           until, reqs, self.digest))
+        else:
+            for (lo, hi), reqs in zip(self.segments, per_shard):
+                workers.append(_InlineWorker(RingSegment(
+                    self.n, lo, hi, self.delay, until, reqs, self.digest)))
+        try:
+            return self._drive(workers, until)
+        finally:
+            for worker in workers:
+                worker.close()  # type: ignore[attr-defined]
+
+    def _shard_of(self, node: int) -> int:
+        for k, (lo, hi) in enumerate(self.segments):
+            if lo <= node < hi:
+                return k
+        raise ConfigError(f"node {node} outside every segment")
+
+    def _drive(self, workers: List[object], until: float) -> MegaResult:
+        shard_count = len(workers)
+        in_flight: List[Tuple[float, int, int, int]] = []
+        # Zero-width opening window: collects every worker's initial
+        # status (including node 0's time-zero token emission) without a
+        # dedicated status op.
+        next_time = [_INF] * shard_count
+        next_emit = [_INF] * shard_count
+        pending: List[List[tuple]] = [[] for _ in range(shard_count)]
+        bounds = [0.0] * shard_count
+        barriers = 0
+        while True:
+            for k, worker in enumerate(workers):
+                (next_time[k], next_emit[k]), outbox = worker.window(
+                    bounds[k], pending[k])  # type: ignore[attr-defined]
+                in_flight.extend(outbox)
+            barriers += 1
+            pending = [[] for _ in range(shard_count)]
+            emit_floor = list(next_emit)
+            time_floor = list(next_time)
+            for message in in_flight:
+                k = self._shard_of(message[1])
+                pending[k].append(message)
+                if message[0] < emit_floor[k]:
+                    emit_floor[k] = message[0]
+                if message[0] < time_floor[k]:
+                    time_floor[k] = message[0]
+            in_flight = []
+            if all(t > until for t in time_floor):
+                break
+            for k in range(shard_count):
+                other = min((emit_floor[j] for j in range(shard_count)
+                             if j != k), default=_INF)
+                bounds[k] = other + self.delay
+            if barriers > 4 * self.n:
+                raise ProtocolError(
+                    "sharded run stopped making progress (window stall)")
+        applog: List[Tuple[int, int, int, float]] = []
+        executed = sent = grants = rounds = 0
+        crc_sum = 0
+        crc_chain: Optional[int] = None
+        for worker in workers:
+            stats = worker.finish()  # type: ignore[attr-defined]
+            executed += stats["executed"]
+            sent += stats["sent"]
+            grants += stats["grants"]
+            rounds = max(rounds, stats["rounds_seen"])
+            crc_sum = (crc_sum + stats["crc_sum"]) & _MASK64
+            applog.extend(stats["applog"])
+            if shard_count == 1:
+                crc_chain = stats["crc_chain"]
+        # Request-before-grant at equal times, matching engine seq order.
+        applog.sort(key=lambda e: (e[3], e[0]))
+        return MegaResult(
+            n=self.n, shards=self.shards, horizon=until,
+            executed=executed, sent=sent, grants=grants, rounds=rounds,
+            barriers=barriers, crc_sum=crc_sum, crc_chain=crc_chain,
+            applog=applog)

@@ -70,3 +70,79 @@ class TestWriteBaseline:
     def test_refuses_invalid_doc(self, tmp_path):
         with pytest.raises(BenchSchemaError):
             bench.write_baseline({"schema": "nope"}, out_dir=str(tmp_path))
+
+    def test_write_profile(self, tmp_path):
+        path = bench.write_profile("ncalls  tottime", out_dir=str(tmp_path),
+                                   stamp="test")
+        assert path.endswith("PROFILE_test.txt")
+        with open(path) as handle:
+            assert handle.read() == "ncalls  tottime\n"
+
+
+class TestCompare:
+    def _pair(self, new_value=1.0, new_checksum=None):
+        baseline = _minimal_doc()
+        doc = _minimal_doc()
+        doc["results"][0]["value"] = new_value
+        if new_checksum is not None:
+            doc["results"][0]["checksum"] = new_checksum
+        return doc, baseline
+
+    def test_identical_docs_compare_ok(self):
+        doc, baseline = self._pair()
+        lines, ok = bench.compare(doc, baseline)
+        assert ok and len(lines) == 1
+
+    def test_checksum_drift_fails(self):
+        doc, baseline = self._pair(new_checksum={"events": 2})
+        _lines, ok = bench.compare(doc, baseline)
+        assert not ok
+
+    def test_value_drop_is_informational_without_threshold(self):
+        doc, baseline = self._pair(new_value=0.1)
+        _lines, ok = bench.compare(doc, baseline)
+        assert ok
+
+    def test_value_drop_beyond_threshold_fails(self):
+        doc, baseline = self._pair(new_value=0.5)   # -50%
+        lines, ok = bench.compare(doc, baseline, regression_pct=30.0)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_value_drop_within_threshold_passes(self):
+        doc, baseline = self._pair(new_value=0.8)   # -20%
+        _lines, ok = bench.compare(doc, baseline, regression_pct=30.0)
+        assert ok
+
+    def test_duration_metrics_regress_upward(self):
+        doc, baseline = self._pair()
+        for side in (doc, baseline):
+            side["results"][0].update(metric="wall_seconds", unit="s")
+        doc["results"][0]["value"] = 2.0            # twice as slow
+        _lines, ok = bench.compare(doc, baseline, regression_pct=30.0)
+        assert not ok
+        doc["results"][0]["value"] = 0.5            # faster: never a failure
+        _lines, ok = bench.compare(doc, baseline, regression_pct=30.0)
+        assert ok
+
+
+class TestMemoryProbe:
+    def test_records_are_annotated(self):
+        record = bench._memory_probe(
+            lambda _rounds: {"name": "x", "metric": "m", "value": 1.0,
+                             "unit": "1/s", "wall_s": 0.0, "checksum": {}},
+            rounds=1, trace=False)
+        memory = record["memory"]
+        assert memory["ru_maxrss_kb"] > 0
+        assert "objects_delta" in memory
+        assert "tracemalloc_peak_kb" not in memory
+
+    def test_tracemalloc_peak_when_tracing(self):
+        def bench_fn(_rounds):
+            blob = [bytearray(1024) for _ in range(512)]   # ~512 KiB live
+            del blob
+            return {"name": "x", "metric": "m", "value": 1.0,
+                    "unit": "1/s", "wall_s": 0.0, "checksum": {}}
+
+        record = bench._memory_probe(bench_fn, rounds=1, trace=True)
+        assert record["memory"]["tracemalloc_peak_kb"] >= 512

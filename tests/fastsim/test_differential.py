@@ -1,0 +1,104 @@
+"""Differential harness coverage: corpus replay plus a pinned config
+matrix through :mod:`repro.fastsim.diff`.
+
+The corpus sweep certifies that every committed fuzz counterexample the
+fast path claims to support replays to the *object harness's* recorded
+outcome — oracle and sanitizer attached — and that everything else is
+classified as a skip, never a crash.  The matrix sweeps the supported
+configuration space (GC modes, delay models, loss/dup, throttling,
+service times) with fresh generated schedules.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fastsim.diff import DiffReport, diff_case, diff_corpus
+from repro.fuzz.case import FuzzCase
+
+CORPUS = str(pathlib.Path(__file__).resolve().parents[1] / "fuzz" / "corpus")
+
+
+def test_corpus_sweep_has_no_mismatches():
+    reports = diff_corpus(CORPUS)
+    assert reports, "corpus sweep found no case files"
+    assert all(r.ok for r in reports), [r.render() for r in reports]
+    matched = [r for r in reports if r.verdict == "match"]
+    assert matched, "no corpus case exercised the fast path"
+
+
+def test_clean_binary_search_case_matches_recorded_outcome():
+    """The pinned corpus case replays identically on both stacks."""
+    case, recorded = FuzzCase.load(
+        str(pathlib.Path(CORPUS) / "clean-binary-search.json"))
+    report = diff_case(case)
+    assert report.verdict == "match", report.render()
+    assert report.fast_outcome["checksum"] == recorded["checksum"] == \
+        "2aa3ec81"
+    assert report.fast_outcome["events"] == recorded["events"] == 304
+
+
+def test_unsupported_cases_are_classified_not_failed():
+    spec = FuzzCase(seed=1, kind="spec", system="Tok", n=3, label="spec")
+    assert diff_case(spec).verdict == "skipped"
+    faulty = FuzzCase(seed=1, protocol="ring", n=4,
+                      requests=[(5.0, 1)],
+                      faults=[{"t": 3.0, "op": "crash", "a": 2}])
+    report = diff_case(faulty)
+    assert report.verdict == "skipped"
+    assert "fault" in report.skip_reason
+    alien = FuzzCase(seed=1, protocol="push", n=4, requests=[(5.0, 1)])
+    assert "push" in diff_case(alien).skip_reason
+
+
+def _matrix_case(index, protocol, config, delay, loss, dup):
+    return FuzzCase(
+        seed=1000 + index,
+        protocol=protocol,
+        n=6,
+        delay=delay,
+        loss_rate=loss,
+        dup_rate=dup,
+        config=config,
+        requests=[(round(2.5 * k + 0.25 * index, 3), (k * 5 + index) % 6)
+                  for k in range(12)],
+        max_events=20_000,
+        horizon=600.0,
+        label=f"matrix-{index}",
+    )
+
+
+_MATRIX = [
+    ("ring", {}, {"kind": "constant", "delay": 1.0}, 0.0, 0.0),
+    ("ring", {"service_time": 2.0, "idle_pause": 5.0},
+     {"kind": "uniform", "low": 0.5, "high": 2.0}, 0.0, 0.0),
+    ("binary_search", {"trap_gc": "rotation"},
+     {"kind": "constant", "delay": 1.0}, 0.0, 0.0),
+    ("binary_search", {"trap_gc": "inverse", "single_outstanding": True},
+     {"kind": "exponential", "mean": 1.5, "minimum": 0.01}, 0.0, 0.2),
+    ("binary_search", {"trap_gc": "none", "forward_throttle": True},
+     {"kind": "uniform", "low": 0.2, "high": 0.8}, 0.1, 0.0),
+    ("binary_search",
+     {"trap_gc": "rotation", "retry_timeout": 30.0, "service_time": 1.0},
+     {"kind": "constant", "delay": 2.0}, 0.0, 0.1),
+    ("binary_search", {"trap_gc": "rotation", "idle_pause": 4.0},
+     {"kind": "exponential", "mean": 0.7, "minimum": 0.01}, 0.3, 0.2),
+]
+
+
+@pytest.mark.parametrize("index", range(len(_MATRIX)),
+                         ids=[f"{p}-{i}" for i, (p, *_rest)
+                              in enumerate(_MATRIX)])
+def test_pinned_configuration_matrix(index):
+    protocol, config, delay, loss, dup = _MATRIX[index]
+    report = diff_case(_matrix_case(index, protocol, config, delay, loss,
+                                    dup))
+    assert report.verdict == "match", report.render()
+
+
+def test_report_rendering_covers_all_verdicts():
+    assert "skip" in DiffReport("x", "skipped", skip_reason="r").render()
+    assert "MISMATCH" in DiffReport(
+        "x", "MISMATCH", object_outcome={}, fast_outcome={}).render()
+    assert not DiffReport("x", "MISMATCH").ok
+    assert DiffReport("x", "skipped").ok
