@@ -25,7 +25,7 @@ Quickstart::
     print(cluster.responsiveness.average_responsiveness())
 """
 
-from repro.aio import AioCluster
+from repro.aio import AioCluster, AioFabric
 from repro.apps import RoundRobinScheduler, SimMutex, TotalOrderBroadcast
 from repro.core import (
     BinarySearchCore,
@@ -37,27 +37,33 @@ from repro.core import (
     PushCore,
     RingCore,
 )
+from repro.fabric import RingOfRings, TokenFabric
 from repro.faults import FaultTolerantCore, MembershipService, RingView
 from repro.metrics import (
     FairnessAuditor,
+    KeyedMetricsRegistry,
     MessageCounters,
     ResponsivenessTracker,
 )
 from repro.workload import (
     BurstyWorkload,
+    ClosedLoopKeyedWorkload,
     FixedRateWorkload,
     HotspotWorkload,
     SaturatedWorkload,
     SingleShotWorkload,
     UniformIntervalWorkload,
+    ZipfKeyedWorkload,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AioCluster",
+    "AioFabric",
     "BinarySearchCore",
     "BurstyWorkload",
+    "ClosedLoopKeyedWorkload",
     "Cluster",
     "DirectedSearchCore",
     "FairnessAuditor",
@@ -65,6 +71,7 @@ __all__ = [
     "FixedRateWorkload",
     "HotspotWorkload",
     "HybridCore",
+    "KeyedMetricsRegistry",
     "LinearSearchCore",
     "MembershipService",
     "MessageCounters",
@@ -72,7 +79,9 @@ __all__ = [
     "PushCore",
     "ResponsivenessTracker",
     "RingCore",
+    "RingOfRings",
     "RingView",
+    "TokenFabric",
     "RoundRobinScheduler",
     "SaturatedWorkload",
     "SimMutex",

@@ -5,6 +5,7 @@ lossy transport, and deterministic virtual-time execution."""
 
 from repro.aio.cluster import AioCluster
 from repro.aio.driver import AioNodeDriver
+from repro.aio.fabric import AioFabric
 from repro.aio.oracle import AioInvariantOracle
 from repro.aio.reliability import ReliabilityConfig, ReliableChannel
 from repro.aio.supervisor import ClusterSupervisor, RestartPolicy
@@ -13,6 +14,7 @@ from repro.aio.virtualtime import VirtualClock, run_virtual
 
 __all__ = [
     "AioCluster",
+    "AioFabric",
     "AioNodeDriver",
     "AioTransport",
     "AioInvariantOracle",

@@ -148,6 +148,116 @@ def _bench_ring_mega(rounds: int) -> Dict[str, Any]:
     }
 
 
+def _bench_fabric_10k(rounds: int) -> Dict[str, Any]:
+    """The multi-token fabric at scale: 10,000 binary-search lanes (n = 3
+    each — 30,000 protocol cores) multiplexed on one kernel through the
+    batched scheduler, driven by a closed-loop Zipf client population in
+    the saturation regime (every token hop serves a grant).
+
+    The grants target scales with ``rounds`` (40 -> one million grants) so
+    CI's reduced-rounds smoke stays cheap while the committed baseline
+    records the full-scale run.  A single timed run, no warmup or repeats:
+    at ~80 s for the full target, min-of-N would triple the suite's wall
+    for noise reduction the long run already provides by averaging.
+
+    ``value`` is logical events/second — directly comparable against
+    ``des_cluster_64`` to bound the fabric's multiplexing overhead (the
+    acceptance bar is within 3x of the single-key DES core).  The checksum
+    pins counters, microsecond-rounded latency percentiles, and a CRC over
+    the per-key grant distribution, so a perf win that shifted *which*
+    keys won their grants fails ``--compare``.
+    """
+    import zlib
+
+    from repro.core.config import ProtocolConfig
+    from repro.fabric import TokenFabric
+    from repro.workload.keyed import ClosedLoopKeyedWorkload
+
+    n_keys, grants_target = 10_000, rounds * 25_000
+    fabric = TokenFabric(seed=2001)
+    config = ProtocolConfig(idle_pause=10_000.0)
+    for k in range(n_keys):
+        fabric.add_key(f"lock/{k:05d}", protocol="binary_search", n=3,
+                       config=config)
+    fabric.add_workload(ClosedLoopKeyedWorkload(clients=24_000,
+                                                think_time=2.0, s=1.2))
+    start = time.perf_counter()
+    fabric.run(grants=grants_target)
+    wall = time.perf_counter() - start
+    events, messages = fabric.executed_total, fabric.sent_total
+    metrics = fabric.metrics
+    lane_crc = 0
+    for stat in metrics.stats:
+        lane_crc = zlib.crc32(b"%d|" % stat.grants, lane_crc)
+    return {
+        "name": "fabric_10k",
+        "metric": "events_per_second",
+        "value": events / wall if wall > 0 else 0.0,
+        "unit": "1/s",
+        "wall_s": wall,
+        "checksum": {
+            "keys": n_keys,
+            "events": events,
+            "messages": messages,
+            "grants": metrics.total_grants,
+            "requests": metrics.total_requests,
+            "p50_us": round(metrics.percentile(50.0) * 1e6),
+            "p99_us": round(metrics.percentile(99.0) * 1e6),
+            "lane_grants_crc": f"{lane_crc & 0xFFFFFFFF:08x}",
+        },
+    }
+
+
+def _bench_fabric_zipf_fast(rounds: int) -> Dict[str, Any]:
+    """The array-compiled fabric backend: 2,048 binary-search lanes on
+    :class:`~repro.fastsim.cluster.FastCluster`'s fused loop, fed by a
+    compiled open-loop Zipf arrival stream (realized inside the timed
+    region — arrival compilation *is* part of this backend's cost).
+
+    Lane independence makes this observably identical to the object
+    fabric on the same configuration; ``tests/fabric/test_fast.py`` pins
+    that equivalence per key, and this bench's digest checksum pins the
+    compiled backend's own behaviour release over release.  The horizon
+    scales with ``rounds`` (40 -> 1,000 virtual units, ~half a million
+    events)."""
+    from repro.core.config import ProtocolConfig
+    from repro.fabric.fast import FastFabric
+    from repro.workload.keyed import ZipfKeyedWorkload
+
+    n_keys, horizon = 2_048, 25.0 * rounds
+    config = ProtocolConfig(idle_pause=8.0)
+
+    def build() -> FastFabric:
+        fabric = FastFabric(seed=2001)
+        for k in range(n_keys):
+            fabric.add_key(f"lock/{k:04d}", protocol="binary_search", n=4,
+                           config=config, digest=True)
+        fabric.add_workload(ZipfKeyedWorkload(mean_interval=0.05, s=1.1,
+                                              home_bias=0.7))
+        return fabric
+
+    def once(until: float):
+        fabric = build()  # FastFabric.run is one-shot: fresh build per run
+        start = time.perf_counter()
+        fabric.run(until=until)
+        return time.perf_counter() - start, fabric
+
+    once(min(100.0, horizon))  # warmup: intern/memo caches, code objects
+    wall, fabric = min((once(horizon) for _ in range(_REPEATS)),
+                       key=lambda pair: pair[0])
+    events, grants = fabric.executed_total, fabric.metrics.total_grants
+    return {
+        "name": "fabric_zipf_fast",
+        "metric": "events_per_second",
+        "value": events / wall if wall > 0 else 0.0,
+        "unit": "1/s",
+        "wall_s": wall,
+        "checksum": {"keys": n_keys, "events": events,
+                     "messages": fabric.sent_total, "grants": grants,
+                     "digest": fabric.checksum()},
+    }
+
+
 def _bench_trs_reduction(rounds: int) -> Dict[str, Any]:
     """TRS steps/second of a safety-checked random reduction (n = 5).
 
@@ -443,6 +553,8 @@ _BENCHES: List[Callable[[int], Dict[str, Any]]] = [
     _bench_des_throughput,
     _bench_fastsim_throughput,
     _bench_ring_mega,
+    _bench_fabric_10k,
+    _bench_fabric_zipf_fast,
     _bench_trs_reduction,
     _bench_modelcheck_explore,
     _bench_modelcheck_dpor,
@@ -556,29 +668,38 @@ def compare(doc: Dict[str, Any], baseline: Dict[str, Any],
             regression_pct: Optional[float] = None) -> Tuple[List[str], bool]:
     """Per-workload comparison of a fresh run against a stored baseline.
 
-    Returns ``(lines, ok)``.  ``ok`` is False when *behaviour* drifted —
-    a shared workload's checksum differs, or a baseline workload is
-    missing from the new run — and, when ``regression_pct`` is given,
-    also when a workload's metric regressed by more than that many
-    percent (lower throughput for rate metrics, longer wall time for
-    duration metrics).  Without a threshold, deltas are reported in the
-    lines but never affect ``ok`` — perf varies with the host; the
-    simulated behaviour must not.  Workloads new in ``doc`` are noted.
+    Returns ``(lines, ok)``.  ``ok`` is False when a *shared* workload's
+    behaviour drifted — its checksum differs — and, when
+    ``regression_pct`` is given, also when a shared workload's metric
+    regressed by more than that many percent (lower throughput for rate
+    metrics, longer wall time for duration metrics).  Without a
+    threshold, deltas are reported in the lines but never affect ``ok``
+    — perf varies with the host; the simulated behaviour must not.
+
+    The workload *set* is allowed to drift between releases (benches are
+    added and retired): additions and removals are each reported on
+    their own line plus a summary, but neither silently intersects the
+    comparison away nor fails it.  The one exception: when the two
+    documents share **no** workloads, the comparison is vacuous and
+    ``ok`` is False — a green result must mean something was compared.
     """
     validate(doc)
     validate(baseline)
     current = {record["name"]: record for record in doc["results"]}
     known = set()
     ok = True
+    shared = 0
+    removed: List[str] = []
     lines: List[str] = []
     for base in baseline["results"]:
         name = base["name"]
         known.add(name)
         record = current.get(name)
         if record is None:
-            ok = False
-            lines.append(f"{name}: MISSING from current run")
+            removed.append(name)
+            lines.append(f"{name}: removed (in baseline, not in this run)")
             continue
+        shared += 1
         old, new = base["value"], record["value"]
         pct = (new - old) / old * 100.0 if old else float("inf")
         # For duration metrics ("s" units) bigger is worse; flip the
@@ -600,9 +721,15 @@ def compare(doc: Dict[str, Any], baseline: Dict[str, Any],
         lines.append(
             f"{name}: {base['metric']} {old:.1f} -> {new:.1f} "
             f"{record['unit']} ({pct:+.1f}%), {verdict}")
-    for name in current:
-        if name not in known:
-            lines.append(f"{name}: new workload (no baseline entry)")
+    added = [name for name in current if name not in known]
+    for name in added:
+        lines.append(f"{name}: added (no baseline entry)")
+    if added or removed:
+        lines.append(f"workload set drift: +{len(added)} added, "
+                     f"-{len(removed)} removed, {shared} shared compared")
+    if shared == 0:
+        ok = False
+        lines.append("no shared workloads: nothing was compared")
     return lines, ok
 
 

@@ -13,6 +13,8 @@ Usage (also available as ``python -m repro``):
     python -m repro bench [--json --rounds 40 --out DIR --profile --mem]
     python -m repro bench --validate --compare benchmarks/baselines/BENCH_<stamp>.json
     python -m repro bench --compare benchmarks/baselines --regression-threshold 30
+    python -m repro fabric [--keys 256 --grants 6400 --json]
+    python -m repro fabric --keys 256 --expect-checksum <hex>
     python -m repro fuzz [--seed 2001 --runs 50 --profile mixed]
     python -m repro fuzz --replay tests/fuzz/corpus/<case>.json
     python -m repro chaos [--seed 2001 --runs 20 --profile mixed]
@@ -174,6 +176,44 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="lint only this system (repeatable; implies "
                            "--skip-dynamic)")
 
+    fab = sub.add_parser(
+        "fabric",
+        help="run a multi-token fabric (N keyed lanes multiplexed on one "
+             "kernel) under a closed-loop Zipf client population; prints "
+             "per-key metrics and a deterministic checksum")
+    fab.add_argument("--keys", type=int, default=256,
+                     help="number of lock keys / token lanes (default 256)")
+    fab.add_argument("--ring", type=int, default=3, metavar="N",
+                     help="nodes per lane ring (default 3)")
+    fab.add_argument("--protocol", choices=PROTOCOLS,
+                     default="binary_search",
+                     help="protocol core per lane (default binary_search)")
+    fab.add_argument("--clients", type=int, default=None,
+                     help="closed-loop client population "
+                          "(default: 2.4 x keys, the bench's saturation "
+                          "ratio)")
+    fab.add_argument("--think-time", type=float, default=2.0,
+                     help="virtual think time between a client's release "
+                          "and next request (default 2.0)")
+    fab.add_argument("--zipf-s", type=float, default=1.2,
+                     help="Zipf skew of key popularity (default 1.2)")
+    fab.add_argument("--grants", type=int, default=None,
+                     help="total grants to run for (default: 25 x keys)")
+    fab.add_argument("--idle-pause", type=float, default=10_000.0,
+                     help="lane idle pause; the large default parks idle "
+                          "tokens so every hop serves a grant "
+                          "(default 10000)")
+    fab.add_argument("--seed", type=int, default=2001,
+                     help="fabric seed; lane seeds derive from it per key "
+                          "(default 2001)")
+    fab.add_argument("--top", type=int, default=10,
+                     help="hottest keys to print (default 10)")
+    fab.add_argument("--json", action="store_true",
+                     help="emit the machine-readable JSON document")
+    fab.add_argument("--expect-checksum", metavar="HEX", default=None,
+                     help="exit non-zero unless the run checksum equals "
+                          "HEX (CI determinism pin)")
+
     fuzz = sub.add_parser(
         "fuzz",
         help="randomized schedule/fault exploration with invariant "
@@ -183,7 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--runs", type=int, default=50,
                       help="number of cases to generate and run (default 50)")
     fuzz.add_argument("--profile", default="mixed",
-                      choices=("clean", "faults", "spec", "mixed"),
+                      choices=("clean", "faults", "spec", "mixed", "fabric"),
                       help="case mix (default mixed)")
     fuzz.add_argument("--replay", metavar="FILE", default=None,
                       help="replay one saved case file instead of fuzzing; "
@@ -518,8 +558,8 @@ def _cmd_bench(args) -> int:
             print(line)
         if not ok:
             print(f"bench compare vs {baseline_path}: FAILED "
-                  "(checksum mismatch, missing workload, or regression "
-                  "beyond threshold)", file=sys.stderr)
+                  "(checksum mismatch, regression beyond threshold, or "
+                  "no shared workloads)", file=sys.stderr)
             return 1
         suffix = ("value deltas are informational"
                   if args.regression_threshold is None else
@@ -589,6 +629,89 @@ def _cmd_lint(args) -> int:
             print(repr(finding))
         print(report.summary_line())
     return 0 if report.ok(strict=args.strict) else 1
+
+
+def _cmd_fabric(args) -> int:
+    import json
+    import time
+    import zlib
+
+    from repro.fabric import TokenFabric
+    from repro.workload.keyed import ClosedLoopKeyedWorkload
+
+    fabric = TokenFabric(seed=args.seed)
+    config = ProtocolConfig(idle_pause=args.idle_pause)
+    width = len(str(max(args.keys - 1, 0)))
+    for k in range(args.keys):
+        fabric.add_key(f"lock/{k:0{width}d}", protocol=args.protocol,
+                       n=args.ring, config=config)
+    clients = (args.clients if args.clients is not None
+               else max(4, (args.keys * 12) // 5))
+    grants_target = (args.grants if args.grants is not None
+                     else args.keys * 25)
+    fabric.add_workload(ClosedLoopKeyedWorkload(
+        clients=clients, think_time=args.think_time, s=args.zipf_s))
+    start = time.perf_counter()
+    fabric.run(grants=grants_target)
+    wall = time.perf_counter() - start
+
+    metrics = fabric.metrics
+    lane_crc = 0
+    for stat in metrics.stats:
+        lane_crc = zlib.crc32(b"%d|" % stat.grants, lane_crc)
+    # Same counters the fabric_10k bench pins; folded to one hex word so a
+    # CI job can carry the pin as a single --expect-checksum argument.
+    counters = {
+        "keys": args.keys,
+        "events": fabric.executed_total,
+        "messages": fabric.sent_total,
+        "grants": metrics.total_grants,
+        "requests": metrics.total_requests,
+        "p50_us": round(metrics.percentile(50.0) * 1e6),
+        "p99_us": round(metrics.percentile(99.0) * 1e6),
+        "lane_grants_crc": f"{lane_crc & 0xFFFFFFFF:08x}",
+    }
+    blob = json.dumps(counters, sort_keys=True).encode("utf-8")
+    checksum = f"{zlib.crc32(blob):08x}"
+
+    if args.json:
+        print(json.dumps({
+            "checksum": checksum, "counters": counters, "wall_s": wall,
+            "events_per_second": (fabric.executed_total / wall
+                                  if wall > 0 else 0.0),
+            "summary": metrics.summary(),
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            [{"key": stat.key, "grants": stat.grants,
+              "requests": stat.requests,
+              "mean_resp": f"{stat.mean_responsiveness:.2f}",
+              "max_resp": f"{stat.resp_max:.2f}",
+              "mean_wait": f"{stat.mean_wait:.2f}"}
+             for stat in metrics.hottest(args.top)],
+            ["key", "grants", "requests", "mean_resp", "max_resp",
+             "mean_wait"],
+            title=(f"hottest {args.top} of {args.keys} keys | "
+                   f"{args.protocol} x{args.ring} clients={clients} "
+                   f"zipf_s={args.zipf_s:g}"),
+        ))
+        print(f"grants={metrics.total_grants} "
+              f"requests={metrics.total_requests} "
+              f"events={fabric.executed_total} "
+              f"messages={fabric.sent_total} "
+              f"p50={metrics.percentile(50.0):.3f} "
+              f"p99={metrics.percentile(99.0):.3f}")
+        print(f"wall={wall:.3f}s "
+              f"({fabric.executed_total / wall if wall > 0 else 0.0:,.0f} "
+              f"events/s) checksum={checksum}")
+
+    if args.expect_checksum is not None:
+        if checksum != args.expect_checksum.lower():
+            print(f"checksum MISMATCH: expected {args.expect_checksum}, "
+                  f"got {checksum}", file=sys.stderr)
+            return 1
+        print("checksum pinned: ok")
+    return 0
 
 
 def _cmd_fuzz(args) -> int:
@@ -799,6 +922,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "lint": _cmd_lint,
     "bench": _cmd_bench,
+    "fabric": _cmd_fabric,
     "fuzz": _cmd_fuzz,
     "verify": _cmd_verify,
     "chaos": _cmd_chaos,

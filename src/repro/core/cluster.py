@@ -70,12 +70,15 @@ class Cluster:
         dup_rate: float = 0.0,
         track_fairness: bool = False,
         sanitize: Optional[bool] = None,
+        sim: Optional[Simulator] = None,
     ) -> None:
         if n < 1:
             raise ConfigError(f"n must be >= 1, got {n}")
         self.n = n
         self.rng = random.Random(seed)
-        self.sim = Simulator()
+        # A shared scheduler (e.g. a fabric's SimView) may be injected;
+        # standalone clusters own a private kernel, as ever.
+        self.sim = sim if sim is not None else Simulator()
         self.config = config if config is not None else ProtocolConfig()
         self.config.n = n
         self.config.validate()

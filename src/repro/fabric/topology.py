@@ -1,0 +1,253 @@
+"""Two-tier ring-of-rings topology.
+
+A single logical ring does not scale past a few hundred nodes: token
+circulation time, search depth, and regeneration cost all grow with ring
+size.  :class:`RingOfRings` caps leaf rings at ``leaf_size`` nodes running
+the paper's protocol *unchanged*, and routes acquire traffic between
+leaves through an upper-tier ring of **gateway** nodes (one per leaf)
+driven by the paper's adaptive binary-search strategy.
+
+Composition semantics (a Raymond-style hierarchical composite, per the
+token-based mutual-exclusion survey in PAPERS.md):
+
+* the upper tier manages one **global** token among gateways, in
+  ``hold_until_release`` mode;
+* a leaf may grant locally only while its gateway holds the global token
+  (the leaf is *active*);
+* an active leaf serves its queued and arriving requests with the paper's
+  protocol verbatim, then releases the global token once its local demand
+  drains (or after ``max_batch`` grants, to bound cross-leaf starvation).
+
+Correctness leans on the cutoff results already certified for the ring
+topology (``repro.verify``): leaf behaviour at small n certifies all
+leaf sizes, and the upper tier is itself just a (small) instance of the
+certified protocol, so the composite grants mutually exclusively by
+construction — only the active leaf's token serves.
+
+Both tiers share one kernel through the fabric's batched scheduler, so a
+ring-of-rings drops into a :class:`~repro.fabric.fabric.TokenFabric`
+deployment without a second event loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import replace
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.cluster import Cluster
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError, SimulationError
+from repro.fabric.scheduling import BatchScheduler, SimView
+from repro.metrics.responsiveness import ResponsivenessTracker
+from repro.sim.kernel import Simulator
+
+__all__ = ["RingOfRings"]
+
+
+class RingOfRings:
+    """``total_nodes`` split into leaf rings under a gateway upper tier."""
+
+    def __init__(
+        self,
+        total_nodes: int,
+        leaf_size: int = 256,
+        protocol: str = "binary_search",
+        upper_protocol: str = "binary_search",
+        seed: int = 0,
+        config: Optional[ProtocolConfig] = None,
+        upper_config: Optional[ProtocolConfig] = None,
+        max_batch: Optional[int] = None,
+        sanitize: Optional[bool] = None,
+    ) -> None:
+        if total_nodes < 2:
+            raise ConfigError(f"total_nodes must be >= 2, got {total_nodes}")
+        if leaf_size < 2:
+            raise ConfigError(f"leaf_size must be >= 2, got {leaf_size}")
+        if max_batch is not None and max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        self.total_nodes = total_nodes
+        self.max_batch = max_batch
+        self.kernel = Simulator()
+        self.scheduler = BatchScheduler(self.kernel)
+        self.sim = SimView(self.scheduler)
+        # Partition: leaves of `leaf_size`, remainder folded into the last
+        # leaf (a leaf must have >= 2 nodes to be a ring).
+        sizes: List[int] = []
+        remaining = total_nodes
+        while remaining > 0:
+            take = min(leaf_size, remaining)
+            if remaining - take == 1:
+                take -= 1  # never strand a single-node leaf
+            sizes.append(take)
+            remaining -= take
+        if len(sizes) < 2:
+            raise ConfigError(
+                f"total_nodes={total_nodes} with leaf_size={leaf_size} "
+                f"yields a single leaf; use a plain Cluster")
+        self.leaf_sizes = sizes
+        self._offsets: List[int] = []
+        offset = 0
+        for size in sizes:
+            self._offsets.append(offset)
+            offset += size
+        # Upper tier: one gateway per leaf, global token held across the
+        # whole activation of a leaf.
+        upper_cfg = (replace(upper_config, hold_until_release=True)
+                     if upper_config is not None
+                     else ProtocolConfig(hold_until_release=True))
+        self.upper = Cluster.build(
+            upper_protocol, len(sizes), seed=seed * 2 + 1, config=upper_cfg,
+            sanitize=sanitize, sim=self.sim)
+        self.leaves: List[Cluster] = [
+            Cluster.build(protocol, size, seed=seed * 2 + 1000 + i,
+                          config=config, sanitize=sanitize, sim=self.sim)
+            for i, size in enumerate(sizes)
+        ]
+        self.upper.on_grant(self._on_upper_grant)
+        for i, leaf in enumerate(self.leaves):
+            leaf.on_grant(self._make_leaf_hook(i))
+        # Per-leaf demand, split by lifecycle stage: `_queued` holds locals
+        # awaiting submission (FIFO, with a dedup set), `_submitted` holds
+        # locals whose request is live inside the leaf cluster.  The global
+        # token is released only when `_submitted` drains — a leaf must
+        # never grant while inactive.
+        self._queued: List[Deque[int]] = [deque() for _ in sizes]
+        self._queued_set: List[Set[int]] = [set() for _ in sizes]
+        self._submitted: List[Set[int]] = [set() for _ in sizes]
+        self._active: Optional[int] = None
+        self._batch_left = 0
+        self.responsiveness = ResponsivenessTracker()
+        self._req_seq: Dict[int, int] = {}
+        self._started = False
+        self.grants = 0
+
+    # -- addressing ----------------------------------------------------------
+
+    def locate(self, node: int) -> Tuple[int, int]:
+        """Map a global node id to ``(leaf index, local node id)``."""
+        if not 0 <= node < self.total_nodes:
+            raise ConfigError(f"node {node} out of range")
+        for i in range(len(self._offsets) - 1, -1, -1):
+            if node >= self._offsets[i]:
+                return i, node - self._offsets[i]
+        raise ConfigError(f"node {node} out of range")  # pragma: no cover
+
+    def global_id(self, leaf: int, local: int) -> int:
+        return self._offsets[leaf] + local
+
+    # -- composition logic ---------------------------------------------------
+
+    def request(self, node: int) -> None:
+        """Make global ``node`` ready; duplicate arrivals coalesce."""
+        leaf, local = self.locate(node)
+        if local in self._queued_set[leaf] or local in self._submitted[leaf]:
+            return  # coalesce with the standing request
+        seq = self._req_seq.get(node, 0) + 1
+        self._req_seq[node] = seq
+        self.responsiveness.on_request(node, seq, self.sim.now)
+        if leaf == self._active and self._batch_left > 0:
+            self._submit(leaf, local)
+        else:
+            self._queued[leaf].append(local)
+            self._queued_set[leaf].add(local)
+            if leaf != self._active:
+                # Contend for the global token (dedups while the gateway is
+                # already waiting).  A budget-exhausted active leaf instead
+                # re-contends at deactivation.
+                self.upper.request(leaf)
+
+    def _submit(self, leaf: int, local: int) -> None:
+        self._submitted[leaf].add(local)
+        self._batch_left -= 1
+        self.leaves[leaf].request(local)
+
+    def _on_upper_grant(self, gateway: int, req_seq: int, now: float) -> None:
+        if self._active is not None:  # pragma: no cover - safety net
+            raise SimulationError(
+                f"upper tier granted leaf {gateway} while {self._active} active")
+        self._active = gateway
+        self._batch_left = (self.max_batch if self.max_batch is not None
+                            else self.total_nodes + 1)
+        queued = self._queued[gateway]
+        queued_set = self._queued_set[gateway]
+        # _submit can grant synchronously (token already parked at the
+        # requesting node) and deactivate from a nested hook — re-check.
+        while queued and self._batch_left > 0 and self._active == gateway:
+            local = queued.popleft()
+            queued_set.discard(local)
+            self._submit(gateway, local)
+        if self._active == gateway and not self._submitted[gateway]:
+            self._deactivate(gateway)  # stale activation: demand evaporated
+
+    def _make_leaf_hook(self, leaf_index: int):
+        def _on_leaf_grant(local: int, req_seq: int, now: float) -> None:
+            node = self.global_id(leaf_index, local)
+            self.grants += 1
+            self._submitted[leaf_index].discard(local)
+            seq = self._req_seq[node]
+            self.responsiveness.on_grant(node, seq, now)
+            queued = self._queued[leaf_index]
+            queued_set = self._queued_set[leaf_index]
+            while (queued and self._batch_left > 0
+                   and self._active == leaf_index):
+                nxt = queued.popleft()
+                queued_set.discard(nxt)
+                self._submit(leaf_index, nxt)
+            if self._active == leaf_index and not self._submitted[leaf_index]:
+                # Drained (or batch budget spent with everything served):
+                # hand the global token back.
+                self._deactivate(leaf_index)
+        return _on_leaf_grant
+
+    def _deactivate(self, leaf_index: int) -> None:
+        """Release the global token; re-contend if local demand remains."""
+        self._active = None
+        if self._queued[leaf_index]:
+            # Delay-0 post: the request must land *after* the release has
+            # been interpreted, never inside it.
+            self.sim.post(0.0, self.upper.request, leaf_index)
+        self.upper.release(leaf_index)
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    @property
+    def executed_total(self) -> int:
+        return self.scheduler.executed_total
+
+    @property
+    def sent_total(self) -> int:
+        return (self.upper.messages.total
+                + sum(leaf.messages.total for leaf in self.leaves))
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.upper.start()
+        for leaf in self.leaves:
+            leaf.start()
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        grants: Optional[int] = None,
+    ) -> None:
+        """Run until a bound is hit (see ``TokenFabric.run``)."""
+        if until is None and max_events is None and grants is None:
+            raise SimulationError("run() needs at least one stopping bound")
+        self.start()
+        budget = max_events if max_events is not None else 2_000_000_000
+        while budget > 0:
+            if grants is not None and self.grants >= grants:
+                break
+            before = self.scheduler.executed_total
+            executed = self.kernel.run(until=until, max_events=512)
+            budget -= self.scheduler.executed_total - before
+            if executed < 512:
+                break

@@ -56,8 +56,10 @@ IMPL_PROTOCOLS = (
 #: Spec-level systems eligible for random-reduction fuzzing.
 SPEC_SYSTEMS = ("S", "S1", "Tok", "MP", "Srch", "BS")
 
-#: profile -> what the generator draws.  ``mixed`` alternates per index.
-PROFILES = ("clean", "faults", "spec", "mixed")
+#: profile -> what the generator draws.  ``mixed`` alternates per index
+#: (it predates the fabric kind and deliberately excludes it: adding a
+#: fifth mode would reshuffle every pinned mixed-profile case).
+PROFILES = ("clean", "faults", "spec", "mixed", "fabric")
 
 _FAULT_OPS = ("crash", "recover", "token_loss", "partition", "heal")
 
@@ -67,7 +69,7 @@ class FuzzCase:
     """One self-contained fuzz run (impl- or spec-level)."""
 
     seed: int
-    kind: str = "impl"                       # "impl" | "spec"
+    kind: str = "impl"                       # "impl" | "spec" | "fabric"
     # -- impl-level fields ---------------------------------------------------
     protocol: str = "binary_search"
     n: int = 5
@@ -83,17 +85,45 @@ class FuzzCase:
     system: str = "BS"
     steps: int = 150
     label: str = ""
+    # -- fabric-level fields -------------------------------------------------
+    #: Lane specs: ``{"key", "protocol", "n", "delay", "loss_rate",
+    #: "dup_rate", "config"}`` per entry.  Lane seeds derive from the
+    #: fabric seed and key string, so dropping a lane never perturbs the
+    #: survivors (lanes are independent — the shrinker leans on this).
+    keys: List[Dict] = field(default_factory=list)
+    #: Fabric arrivals as ``(time, key_index, node)``; fabric faults carry
+    #: a ``"k"`` (key index) in :attr:`faults` entries instead.
+    keyed_requests: List[Tuple[float, int, int]] = field(default_factory=list)
 
     # -- derived -------------------------------------------------------------
 
     def event_count(self) -> int:
         """Schedule size (requests + faults) — the shrinker's budget."""
-        return len(self.requests) + len(self.faults)
+        return len(self.requests) + len(self.keyed_requests) + len(self.faults)
 
     def validate(self) -> "FuzzCase":
-        if self.kind not in ("impl", "spec"):
+        if self.kind not in ("impl", "spec", "fabric"):
             raise ConfigError(f"unknown case kind {self.kind!r}")
-        if self.kind == "impl":
+        if self.kind == "fabric":
+            if not self.keys:
+                raise ConfigError("fabric case needs at least one key")
+            for spec in self.keys:
+                if spec.get("protocol", "binary_search") not in IMPL_PROTOCOLS:
+                    raise ConfigError(f"unknown protocol in key spec {spec!r}")
+                if spec.get("n", 4) < 1:
+                    raise ConfigError(f"bad ring size in key spec {spec!r}")
+            n_keys = len(self.keys)
+            for _t, k, _node in self.keyed_requests:
+                if not 0 <= k < n_keys:
+                    raise ConfigError(f"keyed request names key {k} "
+                                      f"of {n_keys}")
+            for fault in self.faults:
+                if fault.get("op") not in _FAULT_OPS:
+                    raise ConfigError(f"unknown fault op {fault!r}")
+                if not 0 <= fault.get("k", 0) < n_keys:
+                    raise ConfigError(f"fault names key {fault.get('k')} "
+                                      f"of {n_keys}")
+        elif self.kind == "impl":
             if self.protocol not in IMPL_PROTOCOLS:
                 raise ConfigError(f"unknown protocol {self.protocol!r}")
             if self.n < 1:
@@ -111,6 +141,7 @@ class FuzzCase:
     def to_dict(self) -> Dict:
         doc = asdict(self)
         doc["requests"] = [list(r) for r in self.requests]
+        doc["keyed_requests"] = [list(r) for r in self.keyed_requests]
         doc["schema"] = SCHEMA
         return doc
 
@@ -123,6 +154,8 @@ class FuzzCase:
         doc.pop("outcome", None)  # replay files carry the recorded outcome
         doc["requests"] = [(float(t), int(node)) for t, node in
                            doc.get("requests", [])]
+        doc["keyed_requests"] = [(float(t), int(k), int(node)) for t, k, node
+                                 in doc.get("keyed_requests", [])]
         return cls(**doc).validate()
 
     def save(self, path: str, outcome: Optional[Dict] = None) -> None:
@@ -231,6 +264,72 @@ def _draw_faults(rng, n: int, horizon: float, protocol: str) -> List[Dict]:
     return faults
 
 
+def _draw_fabric_faults(rng, keys: List[Dict],
+                        horizon: float) -> List[Dict]:
+    """Crash/recover and partition/heal faults aimed at a few lanes.
+
+    Token loss is left out: regeneration only exists in fault_tolerant
+    lanes, and a lost token elsewhere just freezes that lane silently.
+    """
+    faults: List[Dict] = []
+    for _ in range(rng.randrange(0, 4)):
+        k = rng.randrange(len(keys))
+        n = keys[k]["n"]
+        node = rng.randrange(n)
+        t = round(rng.uniform(5.0, horizon * 0.5), 3)
+        faults.append({"t": t, "op": "crash", "a": node, "k": k})
+        if rng.random() < 0.5:
+            faults.append({"t": round(t + rng.uniform(20.0, 80.0), 3),
+                           "op": "recover", "a": node, "k": k})
+        if n >= 3 and rng.random() < 0.4:
+            a = rng.randrange(n)
+            b = (a + rng.randrange(1, n)) % n
+            t = round(rng.uniform(5.0, horizon * 0.4), 3)
+            faults.append({"t": t, "op": "partition", "a": a, "b": b, "k": k})
+            faults.append({"t": round(t + rng.uniform(10.0, 50.0), 3),
+                           "op": "heal", "a": a, "b": b, "k": k})
+    faults.sort(key=lambda f: f["t"])
+    return faults
+
+
+def _generate_fabric_case(root_seed: int, index: int, rng) -> FuzzCase:
+    """8-32 keys of mixed protocols multiplexed on one fabric, with
+    faults striking individual lanes — the isolation property under test
+    is that a fault in one lane never leaks into another."""
+    n_keys = rng.randrange(8, 33)
+    horizon = rng.choice((400.0, 800.0))
+    keys: List[Dict] = []
+    for k in range(n_keys):
+        protocol = rng.choice(IMPL_PROTOCOLS)
+        n = rng.choice((3, 4, 5))
+        spec: Dict = {"key": f"lock/{k:03d}", "protocol": protocol, "n": n}
+        if rng.random() < 0.5:
+            spec["delay"] = _draw_delay(rng)
+        if rng.random() < 0.3:
+            spec["loss_rate"] = round(rng.choice((0.05, 0.1)), 3)
+        if rng.random() < 0.2:
+            spec["dup_rate"] = 0.1
+        if rng.random() < 0.5:
+            spec["config"] = _draw_config(rng, protocol)
+        keys.append(spec)
+    keyed_requests = sorted(
+        (round(rng.uniform(0.0, horizon * 0.6), 3),
+         (k := rng.randrange(n_keys)),
+         rng.randrange(keys[k]["n"]))
+        for _ in range(rng.randrange(20, 80))
+    )
+    return FuzzCase(
+        seed=root_seed + index,
+        kind="fabric",
+        keys=keys,
+        keyed_requests=keyed_requests,
+        faults=_draw_fabric_faults(rng, keys, horizon),
+        max_events=60_000,
+        horizon=horizon,
+        label=f"fabric/k{n_keys}",
+    ).validate()
+
+
 def generate_case(root_seed: int, index: int, profile: str = "mixed") -> FuzzCase:
     """Derive the ``index``-th case of a run from the root seed."""
     if profile not in PROFILES:
@@ -239,6 +338,9 @@ def generate_case(root_seed: int, index: int, profile: str = "mixed") -> FuzzCas
     if profile == "mixed":
         mode = ("clean", "faults", "clean", "faults", "spec")[index % 5]
     rng = child_rng(root_seed, "case", index, mode)
+
+    if mode == "fabric":
+        return _generate_fabric_case(root_seed, index, rng)
 
     if mode == "spec":
         system = rng.choice(SPEC_SYSTEMS)

@@ -161,6 +161,88 @@ def _run_impl(case: FuzzCase) -> FuzzResult:
 
 
 # ---------------------------------------------------------------------------
+# Fabric-level execution
+# ---------------------------------------------------------------------------
+
+def _run_fabric(case: FuzzCase) -> FuzzResult:
+    """Run a multi-key fabric case: every lane gets its own invariant
+    oracle, faults strike individual lanes, and a final per-key token
+    census rejects any duplication the delivery-time oracles missed.
+
+    The checksum folds the *global* send stream (lane index included), so
+    it also pins the cross-lane interleaving the batched scheduler
+    produces — a determinism regression in the fabric itself shows up
+    even when every lane is individually sound."""
+    from repro.fabric import TokenFabric
+
+    fabric = TokenFabric(seed=derive_seed(case.seed, "fabric"),
+                         sanitize=True)
+    checksum = 0
+    sends = 0
+    sim = fabric.sim
+
+    oracles = []
+    for i, spec in enumerate(case.keys):
+        protocol = spec.get("protocol", "binary_search")
+        lane = fabric.add_key(
+            spec["key"], protocol=protocol, n=spec.get("n", 4),
+            config=ProtocolConfig(**spec.get("config", {})),
+            delay=build_delay(spec.get("delay",
+                                       {"kind": "constant", "delay": 1.0})),
+            loss_rate=spec.get("loss_rate", 0.0),
+            dup_rate=spec.get("dup_rate", 0.0),
+        )
+        oracle = InvariantOracle(lane, protocol=protocol,
+                                 strict=not case.faults)
+        oracle.attach()
+        oracles.append(oracle)
+
+        def _digest(src: int, dst: int, msg: object, _lane=i) -> None:
+            nonlocal checksum, sends
+            sends += 1
+            record = f"{sim.now:.6f}|{_lane}|{src}|{dst}|{msg!r}"
+            checksum = zlib.crc32(record.encode("utf-8"), checksum)
+
+        lane.network.on_send.append(_digest)
+
+    for time, k, node in case.keyed_requests:
+        sim.schedule_at(time, fabric.request_id, k, node)
+    for fault in case.faults:
+        t, op = float(fault["t"]), fault["op"]
+        lane = fabric.lanes()[fault["k"]]
+        if op == "crash":
+            sim.schedule_at(t, lane.drivers[fault["a"]].crash)
+        elif op == "recover":
+            sim.schedule_at(t, lane.drivers[fault["a"]].recover)
+        elif op == "partition":
+            sim.schedule_at(t, lane.network.partition, fault["a"], fault["b"])
+        elif op == "heal":
+            sim.schedule_at(t, lane.network.heal, fault["a"], fault["b"])
+
+    violation: Optional[Dict] = None
+    try:
+        fabric.run(until=case.horizon, max_events=case.max_events)
+        for key, count in fabric.token_census().items():
+            # The census is blind to in-flight tokens, so only count > 1
+            # (duplication) is a breach at the horizon cut.
+            if count > 1:
+                raise OracleViolation(
+                    "token_census",
+                    f"key {key!r} holds {count} tokens at the horizon",
+                    {"key": key, "count": count})
+    except _VIOLATIONS as exc:
+        violation = _violation_dict(exc)
+    return FuzzResult(
+        ok=violation is None,
+        checksum=f"{checksum:08x}",
+        events=fabric.executed_total,
+        grants=fabric.metrics.total_grants,
+        sends=sends,
+        violation=violation,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Spec-level execution
 # ---------------------------------------------------------------------------
 
@@ -227,6 +309,8 @@ def run_case(case: FuzzCase,
     case.validate()
     if case.kind == "spec":
         return _run_spec(case, system_factory)
+    if case.kind == "fabric":
+        return _run_fabric(case)
     return _run_impl(case)
 
 

@@ -7,7 +7,8 @@ its requests and faults as plain lists:
 1. drop faults (largest chunks first, then singles);
 2. drop requests the same way;
 3. remove nodes (shrink ``n``, discarding schedule entries that name
-   removed nodes);
+   removed nodes) — fabric cases drop whole lanes instead, remapping
+   the surviving key indices;
 4. tighten the budgets (``max_events`` to just past the violation point,
    ``horizon``/``steps`` by halving).
 
@@ -99,6 +100,29 @@ def _drop_nodes(case: FuzzCase, run: Callable, invariant: Optional[str],
     return best, best_result
 
 
+def _drop_keys(case: FuzzCase, run: Callable, invariant: Optional[str],
+               budget: _Budget) -> Tuple[FuzzCase, Optional[FuzzResult]]:
+    """Remove whole fabric lanes.  Lanes are independent, so dropping one
+    (and remapping the key indices above it) preserves every other lane's
+    behaviour exactly — a candidate reproduces iff the violating lane
+    survived the cut."""
+    best, best_result = case, None
+    i = len(best.keys) - 1
+    while i >= 0 and len(best.keys) > 1:
+        candidate = best.with_(
+            keys=best.keys[:i] + best.keys[i + 1:],
+            keyed_requests=[(t, k - (k > i), node)
+                            for t, k, node in best.keyed_requests if k != i],
+            faults=[dict(f, k=f["k"] - (f["k"] > i))
+                    for f in best.faults if f["k"] != i],
+        )
+        result = _repro(candidate, run, invariant, budget)
+        if result is not None:
+            best, best_result = candidate, result
+        i -= 1
+    return best, best_result
+
+
 def _halve_field(case: FuzzCase, fld: str, floor, run: Callable,
                  invariant: Optional[str], budget: _Budget,
                  ) -> Tuple[FuzzCase, Optional[FuzzResult]]:
@@ -128,22 +152,30 @@ def shrink(case: FuzzCase, result: FuzzResult,
     budget = _Budget(max_attempts)
     best, best_result = case, result
 
+    schedule_fields = (("faults", "keyed_requests") if case.kind == "fabric"
+                       else ("faults", "requests"))
     changed = True
     while changed and budget.left > 0:
         changed = False
-        for fld in ("faults", "requests"):
+        for fld in schedule_fields:
             if getattr(best, fld):
                 smaller, r = _ddmin_list(best, fld, run, invariant, budget)
                 if r is not None and smaller.event_count() < best.event_count():
                     best, best_result = smaller, r
                     changed = True
-        smaller, r = _drop_nodes(best, run, invariant, budget)
-        if r is not None and smaller.n < best.n:
-            best, best_result = smaller, r
-            changed = True
+        if best.kind == "fabric":
+            smaller, r = _drop_keys(best, run, invariant, budget)
+            if r is not None and len(smaller.keys) < len(best.keys):
+                best, best_result = smaller, r
+                changed = True
+        else:
+            smaller, r = _drop_nodes(best, run, invariant, budget)
+            if r is not None and smaller.n < best.n:
+                best, best_result = smaller, r
+                changed = True
 
     # Budget tightening (no fixpoint needed: monotone).
-    if best.kind == "impl":
+    if best.kind in ("impl", "fabric"):
         if best_result.events and best_result.events < best.max_events:
             candidate = best.with_(max_events=best_result.events)
             r = _repro(candidate, run, invariant, budget)

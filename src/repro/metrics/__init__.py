@@ -1,8 +1,9 @@
 """Metrics: responsiveness (Definition 3), message counters, fairness
-auditing (Theorem 3), and summary statistics."""
+auditing (Theorem 3), per-key fabric aggregation, and summary statistics."""
 
 from repro.metrics.counters import MessageCounters
 from repro.metrics.fairness import FairnessAuditor
+from repro.metrics.keyed import KeyedMetricsRegistry, KeyStats, LatencyHistogram
 from repro.metrics.responsiveness import ResponsivenessTracker
 from repro.metrics.tracing import TraceEvent, TraceRecorder
 from repro.metrics.stats import (
@@ -16,6 +17,9 @@ from repro.metrics.stats import (
 
 __all__ = [
     "FairnessAuditor",
+    "KeyStats",
+    "KeyedMetricsRegistry",
+    "LatencyHistogram",
     "MessageCounters",
     "ResponsivenessTracker",
     "TraceEvent",

@@ -1,0 +1,184 @@
+"""Per-key metrics for the multi-token fabric.
+
+A fabric multiplexes thousands of token instances; per-grant bookkeeping
+must therefore be O(1) and allocation-free.  :class:`KeyedMetricsRegistry`
+keeps integer-indexed per-key aggregates (grants, responsiveness sums and
+maxima) plus one fabric-level :class:`LatencyHistogram` of responsiveness
+samples, so fabric-wide p50/p99 come from bucket counts rather than from
+sorting millions of samples.
+
+The histogram uses logarithmic buckets (powers of ``2**(1/4)`` — ~19%
+relative resolution), which is plenty for tail percentiles and keeps the
+whole structure a few hundred ints regardless of sample volume.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+__all__ = ["KeyStats", "LatencyHistogram", "KeyedMetricsRegistry"]
+
+# Bucket boundaries: 0-bucket for exact zeros, then log-spaced from 2**-10
+# (~1e-3 virtual units) upward.  ~4 buckets per octave, 200 buckets covers
+# up to ~2**40 — far beyond any simulated wait.
+_BASE = 2.0 ** -10
+_RATIO = 2.0 ** 0.25
+_BOUNDS: List[float] = [0.0]
+_edge = _BASE
+for _ in range(200):
+    _BOUNDS.append(_edge)
+    _edge *= _RATIO
+del _edge
+
+
+class LatencyHistogram:
+    """Log-bucketed sample accumulator with percentile queries."""
+
+    __slots__ = ("counts", "total", "sum", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BOUNDS) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def add(self, sample: float) -> None:
+        """Record one sample (O(log buckets))."""
+        self.counts[bisect_left(_BOUNDS, sample)] += 1
+        self.total += 1
+        self.sum += sample
+        if sample > self.max:
+            self.max = sample
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the ``p``-th percentile.
+
+        Returns 0.0 when empty.  ``p`` is in [0, 100].
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {p}")
+        if self.total == 0:
+            return 0.0
+        rank = max(1, int(self.total * p / 100.0 + 0.999999))
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if i == 0:
+                    return 0.0
+                if i >= len(_BOUNDS):
+                    return self.max
+                # Bucket upper bound, clamped so p99 never exceeds the
+                # exact observed maximum.
+                return min(_BOUNDS[i], self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+
+class KeyStats:
+    """O(1) running aggregates for one key."""
+
+    __slots__ = ("key", "grants", "requests", "resp_sum", "resp_max",
+                 "wait_sum", "wait_max")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.grants = 0
+        self.requests = 0
+        self.resp_sum = 0.0
+        self.resp_max = 0.0
+        self.wait_sum = 0.0
+        self.wait_max = 0.0
+
+    @property
+    def mean_responsiveness(self) -> float:
+        return self.resp_sum / self.grants if self.grants else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        return self.wait_sum / self.grants if self.grants else 0.0
+
+
+class KeyedMetricsRegistry:
+    """Grant/responsiveness accounting for N keys, integer-indexed.
+
+    Keys are interned once via :meth:`add_key` (string -> dense int id);
+    the per-grant hot path then touches only list slots and the shared
+    histogram.  ``responsiveness`` here is the paper's Definition-3 period
+    sample the per-lane tracker produces; ``waited`` is the request->grant
+    wait.  Either may be fed alone (pass the other as 0.0).
+    """
+
+    __slots__ = ("stats", "histogram", "total_grants", "total_requests", "_ids")
+
+    def __init__(self) -> None:
+        self.stats: List[KeyStats] = []
+        self.histogram = LatencyHistogram()
+        self.total_grants = 0
+        self.total_requests = 0
+        self._ids: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.stats)
+
+    def add_key(self, key: str) -> int:
+        """Intern ``key``; returns its dense integer id."""
+        if key in self._ids:
+            raise ConfigError(f"duplicate key {key!r}")
+        kid = len(self.stats)
+        self._ids[key] = kid
+        self.stats.append(KeyStats(key))
+        return kid
+
+    def key_id(self, key: str) -> int:
+        return self._ids[key]
+
+    def key_stats(self, key: str) -> KeyStats:
+        return self.stats[self._ids[key]]
+
+    # -- hot path ------------------------------------------------------------
+
+    def on_request(self, kid: int) -> None:
+        self.stats[kid].requests += 1
+        self.total_requests += 1
+
+    def on_grant(self, kid: int, responsiveness: float, waited: float) -> None:
+        stat = self.stats[kid]
+        stat.grants += 1
+        stat.resp_sum += responsiveness
+        stat.wait_sum += waited
+        if responsiveness > stat.resp_max:
+            stat.resp_max = responsiveness
+        if waited > stat.wait_max:
+            stat.wait_max = waited
+        self.total_grants += 1
+        self.histogram.add(responsiveness)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def percentile(self, p: float) -> float:
+        """Fabric-level responsiveness percentile (log-bucket resolution)."""
+        return self.histogram.percentile(p)
+
+    def hottest(self, top: int = 10) -> List[KeyStats]:
+        """The ``top`` keys by grant count (descending)."""
+        return sorted(self.stats, key=lambda s: (-s.grants, s.key))[:top]
+
+    def summary(self) -> Dict[str, object]:
+        """Fabric-level roll-up (cheap: buckets + running sums only)."""
+        hist = self.histogram
+        return {
+            "keys": len(self.stats),
+            "grants": self.total_grants,
+            "requests": self.total_requests,
+            "responsiveness_mean": hist.mean,
+            "responsiveness_p50": hist.percentile(50.0),
+            "responsiveness_p99": hist.percentile(99.0),
+            "responsiveness_max": hist.max,
+        }

@@ -9,13 +9,23 @@ from repro.workload.generators import (
     UniformIntervalWorkload,
     Workload,
 )
+from repro.workload.keyed import (
+    ClosedLoopKeyedWorkload,
+    KeyedWorkload,
+    ZipfKeyedWorkload,
+    zipf_cdf,
+)
 
 __all__ = [
     "BurstyWorkload",
+    "ClosedLoopKeyedWorkload",
     "FixedRateWorkload",
     "HotspotWorkload",
+    "KeyedWorkload",
     "SaturatedWorkload",
     "SingleShotWorkload",
     "UniformIntervalWorkload",
     "Workload",
+    "ZipfKeyedWorkload",
+    "zipf_cdf",
 ]

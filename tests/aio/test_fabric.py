@@ -1,0 +1,184 @@
+"""Tests for the asyncio multi-token fabric façade."""
+
+import asyncio
+
+import pytest
+
+from repro.aio.fabric import AioFabric
+from repro.aio.virtualtime import run_virtual
+from repro.errors import ConfigError
+from repro.fabric import TokenFabric
+
+DELAY = 0.002
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestConstruction:
+    def test_duplicate_key_raises(self):
+        fabric = AioFabric()
+        fabric.add_key("a", delay=DELAY)
+        with pytest.raises(ConfigError):
+            fabric.add_key("a", delay=DELAY)
+
+    def test_lane_seed_matches_the_des_fabric(self):
+        assert (AioFabric(seed=4).lane_seed("db/users")
+                == TokenFabric(seed=4).lane_seed("db/users"))
+
+    def test_start_with_no_keys_raises(self):
+        async def main():
+            with pytest.raises(ConfigError):
+                await AioFabric().start()
+
+        run(main())
+
+    def test_add_key_after_start_raises(self):
+        async def main():
+            fabric = AioFabric()
+            fabric.add_key("a", n=3, delay=DELAY)
+            await fabric.start()
+            try:
+                with pytest.raises(ConfigError):
+                    fabric.add_key("late", delay=DELAY)
+            finally:
+                await fabric.stop()
+
+        run(main())
+
+
+class TestKeyedLocking:
+    def test_lock_round_trip_records_metrics(self):
+        async def main():
+            fabric = AioFabric(seed=1)
+            fabric.add_key("db/users", n=4, delay=DELAY)
+            fabric.add_key("db/orders", n=3, delay=DELAY)
+            await fabric.start()
+            try:
+                async with fabric.lock("db/users", node=2, timeout=5.0) as node:
+                    assert node == 2
+                async with fabric.lock("db/orders", node=0, timeout=5.0):
+                    pass
+            finally:
+                await fabric.stop()
+            assert fabric.metrics.key_stats("db/users").grants == 1
+            assert fabric.metrics.key_stats("db/orders").grants == 1
+            doc = fabric.summary()
+            assert doc["keys"] == 2 and doc["grants"] == 2
+            assert doc["responsiveness_p99"] > 0.0
+
+        run(main())
+
+    def test_keys_are_independent_critical_sections(self):
+        # Two keys may be held at once; one key still excludes.
+        async def main():
+            fabric = AioFabric(seed=2)
+            fabric.add_key("a", n=4, delay=DELAY)
+            fabric.add_key("b", n=4, delay=DELAY)
+            await fabric.start()
+            holders = []
+            try:
+                await fabric.acquire("a", 1, timeout=5.0)
+                # While "a" is held, "b" grants without waiting for it.
+                await fabric.acquire("b", 2, timeout=5.0)
+                holders = [("a", 1), ("b", 2)]
+                fabric.release("b", 2)
+                fabric.release("a", 1)
+
+                async def worker(key, node):
+                    async with fabric.lock(key, node, timeout=10.0):
+                        section.append((key, node))
+                        await asyncio.sleep(DELAY)
+                        assert section[-1] == (key, node), \
+                            "two holders inside one key's section"
+                        section.pop()
+
+                section = []
+                await asyncio.gather(*(worker("a", n) for n in range(4)))
+            finally:
+                await fabric.stop()
+            assert holders == [("a", 1), ("b", 2)]
+            # One manual acquire plus four workers on key "a".
+            assert fabric.metrics.key_stats("a").grants == 5
+
+        run(main())
+
+    def test_timeout_counts_request_but_no_grant(self):
+        async def main():
+            fabric = AioFabric(seed=3)
+            fabric.add_key("a", n=4, delay=DELAY)
+            await fabric.start()
+            try:
+                await fabric.acquire("a", 1, timeout=5.0)  # hold the token
+                with pytest.raises(asyncio.TimeoutError):
+                    await fabric.acquire("a", 3, timeout=4 * DELAY)
+                fabric.release("a", 1)
+            finally:
+                await fabric.stop()
+            stats = fabric.metrics.key_stats("a")
+            assert stats.requests == 2
+            assert stats.grants == 1
+
+        run(main())
+
+    def test_virtual_time_runs_deterministically(self):
+        async def scenario():
+            fabric = AioFabric(seed=5)
+            fabric.add_key("x", n=5, delay=0.01)
+            await fabric.start()
+            try:
+                for node in (0, 2, 4):
+                    async with fabric.lock("x", node, timeout=30.0):
+                        pass
+            finally:
+                await fabric.stop()
+            stats = fabric.metrics.key_stats("x")
+            return stats.grants, round(stats.wait_sum, 9)
+
+        assert run_virtual(scenario()) == run_virtual(scenario())
+
+
+class TestSupervision:
+    def test_supervised_lane_survives_a_crash(self):
+        async def scenario():
+            from repro.aio.reliability import ReliabilityConfig
+            from repro.aio.supervisor import RestartPolicy
+            from repro.core.config import ProtocolConfig
+
+            fabric = AioFabric(seed=6)
+            # Crash recovery needs the fault-tolerant core (retries,
+            # regeneration) — a crashed binary_search lane loses any
+            # message sent its way, forever.
+            fabric.add_key(
+                "x", protocol="fault_tolerant", n=4, delay=0.01,
+                config=ProtocolConfig(
+                    trap_gc="rotation", single_outstanding=True,
+                    retry_timeout=25.0, regen_timeout=30.0,
+                    census_window=8.0, loan_timeout=80.0,
+                    regen_quorum=True),
+                reliability=ReliabilityConfig())
+            fabric.supervise("x", RestartPolicy(restart_delay=0.2,
+                                                heartbeat_interval=0.05))
+            with pytest.raises(ConfigError):
+                fabric.supervise("x")  # double supervision refused
+            await fabric.start()
+            try:
+                await fabric.lane("x").crash_node(1)
+                await asyncio.sleep(1.0)  # give the supervisor time to repair
+                async with fabric.lock("x", 2, timeout=30.0):
+                    pass
+                return (fabric.metrics.key_stats("x").grants,
+                        fabric.lane("x").crashed_nodes())
+            finally:
+                await fabric.stop()
+
+        grants, crashed = run_virtual(scenario())
+        assert grants == 1
+        assert crashed == []
+
+    def test_supervising_unknown_key_raises(self):
+        fabric = AioFabric()
+        fabric.add_key("a", delay=DELAY)
+        with pytest.raises(KeyError):
+            fabric.supervise("missing")

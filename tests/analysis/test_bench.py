@@ -114,6 +114,35 @@ class TestCompare:
         _lines, ok = bench.compare(doc, baseline, regression_pct=30.0)
         assert ok
 
+    def test_removed_workload_reported_not_failed(self):
+        doc, baseline = self._pair()
+        baseline["results"].append(dict(baseline["results"][0],
+                                        name="retired_bench"))
+        lines, ok = bench.compare(doc, baseline)
+        assert ok
+        assert any("retired_bench: removed" in line for line in lines)
+        assert any("workload set drift" in line for line in lines)
+
+    def test_added_workload_reported_not_failed(self):
+        doc, baseline = self._pair()
+        doc["results"].append(dict(doc["results"][0], name="new_bench"))
+        lines, ok = bench.compare(doc, baseline)
+        assert ok
+        assert any("new_bench: added" in line for line in lines)
+
+    def test_disjoint_workload_sets_fail(self):
+        doc, baseline = self._pair()
+        doc["results"][0]["name"] = "renamed_everything"
+        lines, ok = bench.compare(doc, baseline)
+        assert not ok
+        assert any("no shared workloads" in line for line in lines)
+
+    def test_drift_does_not_mask_shared_checksum_failure(self):
+        doc, baseline = self._pair(new_checksum={"events": 2})
+        doc["results"].append(dict(doc["results"][0], name="new_bench"))
+        _lines, ok = bench.compare(doc, baseline)
+        assert not ok
+
     def test_duration_metrics_regress_upward(self):
         doc, baseline = self._pair()
         for side in (doc, baseline):

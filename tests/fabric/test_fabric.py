@@ -1,0 +1,110 @@
+"""API and accounting tests for :class:`TokenFabric`."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.fabric import TokenFabric
+from repro.workload.generators import FixedRateWorkload, SingleShotWorkload
+from repro.workload.keyed import ClosedLoopKeyedWorkload
+
+
+class TestConstruction:
+    def test_duplicate_key_raises(self):
+        fabric = TokenFabric()
+        fabric.add_key("a")
+        with pytest.raises(ConfigError):
+            fabric.add_key("a")
+
+    def test_lane_seed_is_stable_and_key_dependent(self):
+        fabric = TokenFabric(seed=9)
+        assert fabric.lane_seed("x") == TokenFabric(seed=9).lane_seed("x")
+        assert fabric.lane_seed("x") != fabric.lane_seed("y")
+        assert fabric.lane_seed("x") != TokenFabric(seed=10).lane_seed("x")
+
+    def test_key_interning_round_trips(self):
+        fabric = TokenFabric()
+        for name in ("a", "b", "c"):
+            fabric.add_key(name)
+        assert fabric.keys == ["a", "b", "c"]
+        assert [fabric.key_id(k) for k in fabric.keys] == [0, 1, 2]
+        assert fabric.lane("b") is fabric.lanes()[1]
+        assert len(fabric) == 3
+
+    def test_late_added_lane_comes_up_live(self):
+        fabric = TokenFabric()
+        fabric.add_key("early", n=3)
+        fabric.lane("early").add_workload(FixedRateWorkload(mean_interval=4.0))
+        fabric.run(until=50.0)
+        late = fabric.add_key("late", n=3)
+        late.add_workload(SingleShotWorkload([(60.0, 1)]))
+        fabric.run(until=100.0)
+        assert fabric.metrics.key_stats("late").grants >= 1
+
+
+class TestRunBounds:
+    def test_run_without_bounds_raises(self):
+        fabric = TokenFabric()
+        fabric.add_key("a")
+        with pytest.raises(SimulationError):
+            fabric.run()
+
+    def test_grants_bound_stops_near_target(self):
+        fabric = TokenFabric(seed=3)
+        for i in range(8):
+            fabric.add_key(f"k{i}", n=3)
+        fabric.add_workload(ClosedLoopKeyedWorkload(clients=16,
+                                                    think_time=1.0))
+        fabric.run(grants=200)
+        got = fabric.metrics.total_grants
+        assert got >= 200
+        # Overshoot is bounded by one kernel chunk's worth of grants.
+        assert got < 200 + TokenFabric._CHUNK
+
+    def test_until_bound_respects_virtual_time(self):
+        fabric = TokenFabric(seed=3)
+        lane = fabric.add_key("only", n=4)
+        lane.add_workload(FixedRateWorkload(mean_interval=5.0))
+        fabric.run(until=123.0)
+        assert fabric.now <= 123.0
+
+
+class TestAccounting:
+    def _loaded_fabric(self):
+        fabric = TokenFabric(seed=11)
+        for i in range(4):
+            fabric.add_key(f"k{i}", n=3)
+        fabric.add_workload(ClosedLoopKeyedWorkload(clients=8,
+                                                    think_time=2.0))
+        fabric.run(until=300.0)
+        return fabric
+
+    def test_requests_grants_and_messages_accumulate(self):
+        fabric = self._loaded_fabric()
+        metrics = fabric.metrics
+        assert metrics.total_grants > 0
+        assert metrics.total_requests >= metrics.total_grants
+        assert fabric.sent_total > 0
+        assert fabric.executed_total > fabric.kernel.executed_total
+
+    def test_summary_rolls_up_counters(self):
+        fabric = self._loaded_fabric()
+        doc = fabric.summary()
+        assert doc["keys"] == 4
+        assert doc["grants"] == fabric.metrics.total_grants
+        assert doc["events"] == fabric.executed_total
+        assert doc["messages"] == fabric.sent_total
+        assert doc["now"] == fabric.now
+        assert doc["responsiveness_p99"] >= doc["responsiveness_p50"]
+
+    def test_token_census_sees_one_token_per_key(self):
+        fabric = self._loaded_fabric()
+        census = fabric.token_census()
+        assert set(census) == {"k0", "k1", "k2", "k3"}
+        fabric.assert_single_token_per_key()
+
+    def test_request_by_string_key(self):
+        fabric = TokenFabric(seed=5)
+        fabric.add_key("solo", n=3)
+        fabric.request("solo", node=1)
+        fabric.run(until=50.0)
+        assert fabric.metrics.key_stats("solo").grants == 1

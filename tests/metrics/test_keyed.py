@@ -1,0 +1,114 @@
+"""Tests for the per-key metrics registry and log-bucket histogram."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.keyed import KeyedMetricsRegistry, LatencyHistogram
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_zero(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(50.0) == 0.0
+        assert hist.mean == 0.0
+        assert hist.max == 0.0
+
+    def test_percentiles_are_monotone_in_p(self):
+        hist = LatencyHistogram()
+        rng = random.Random(4)
+        for _ in range(5000):
+            hist.add(rng.expovariate(1.0))
+        values = [hist.percentile(p) for p in (1, 10, 50, 90, 99, 100)]
+        assert values == sorted(values)
+
+    def test_percentile_tracks_known_quantiles_to_bucket_resolution(self):
+        hist = LatencyHistogram()
+        samples = [i / 100.0 for i in range(1, 10001)]  # uniform (0, 100]
+        for s in samples:
+            hist.add(s)
+        # Log buckets are 2**0.25 wide: ~19% relative resolution.
+        assert abs(hist.percentile(50.0) - 50.0) / 50.0 < 0.2
+        assert abs(hist.percentile(99.0) - 99.0) / 99.0 < 0.2
+
+    def test_percentile_never_exceeds_observed_max(self):
+        hist = LatencyHistogram()
+        for s in (0.5, 1.0, 1.1):
+            hist.add(s)
+        assert hist.percentile(100.0) <= 1.1
+        assert hist.max == 1.1
+
+    def test_zero_samples_land_in_the_zero_bucket(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.add(0.0)
+        hist.add(5.0)
+        assert hist.percentile(50.0) == 0.0
+        assert hist.percentile(100.0) == 5.0
+
+    def test_out_of_range_percentile_raises(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ConfigError):
+            hist.percentile(101.0)
+        with pytest.raises(ConfigError):
+            hist.percentile(-1.0)
+
+    def test_mean_is_exact_not_bucketed(self):
+        hist = LatencyHistogram()
+        for s in (1.0, 2.0, 3.0):
+            hist.add(s)
+        assert hist.mean == 2.0
+
+
+class TestKeyedMetricsRegistry:
+    def test_interning_is_dense_and_duplicates_raise(self):
+        registry = KeyedMetricsRegistry()
+        assert registry.add_key("a") == 0
+        assert registry.add_key("b") == 1
+        assert registry.key_id("b") == 1
+        assert len(registry) == 2
+        with pytest.raises(ConfigError):
+            registry.add_key("a")
+
+    def test_grant_accounting_per_key_and_fabric_wide(self):
+        registry = KeyedMetricsRegistry()
+        a, b = registry.add_key("a"), registry.add_key("b")
+        registry.on_request(a)
+        registry.on_request(a)
+        registry.on_request(b)
+        registry.on_grant(a, 2.0, 1.0)
+        registry.on_grant(a, 4.0, 3.0)
+        registry.on_grant(b, 1.0, 0.0)
+        stat = registry.key_stats("a")
+        assert stat.grants == 2 and stat.requests == 2
+        assert stat.mean_responsiveness == 3.0
+        assert stat.resp_max == 4.0
+        assert stat.mean_wait == 2.0 and stat.wait_max == 3.0
+        assert registry.total_grants == 3
+        assert registry.total_requests == 3
+        assert registry.histogram.total == 3
+
+    def test_hottest_orders_by_grants_then_key(self):
+        registry = KeyedMetricsRegistry()
+        for name, grants in (("cold", 1), ("hot", 5), ("warm", 3),
+                             ("also-hot", 5)):
+            kid = registry.add_key(name)
+            for _ in range(grants):
+                registry.on_grant(kid, 1.0, 0.0)
+        names = [s.key for s in registry.hottest(top=3)]
+        assert names == ["also-hot", "hot", "warm"]
+
+    def test_summary_shape(self):
+        registry = KeyedMetricsRegistry()
+        kid = registry.add_key("a")
+        registry.on_request(kid)
+        registry.on_grant(kid, 2.0, 1.0)
+        doc = registry.summary()
+        assert doc == {
+            "keys": 1, "grants": 1, "requests": 1,
+            "responsiveness_mean": 2.0,
+            "responsiveness_p50": 2.0,
+            "responsiveness_p99": 2.0,
+            "responsiveness_max": 2.0,
+        }
