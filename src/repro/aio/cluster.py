@@ -51,6 +51,7 @@ class AioCluster:
         dup_rate: float = 0.0,
         sanitize: Optional[bool] = None,
         reliability: Optional[ReliabilityConfig] = None,
+        transport: Optional[AioTransport] = None,
     ) -> None:
         if n < 1:
             raise ConfigError(f"n must be >= 1, got {n}")
@@ -70,8 +71,14 @@ class AioCluster:
         self.config.n = n
         self.config.hold_until_release = True
         self.config.validate()
-        self.transport = AioTransport(delay=delay, loss_rate=loss_rate,
-                                      dup_rate=dup_rate, rng=self.rng)
+        if transport is not None:
+            # An injected transport (e.g. the real-socket
+            # repro.wire.WireTransport) arrives fully configured; the
+            # delay/loss_rate/dup_rate arguments are ignored in its favor.
+            self.transport = transport
+        else:
+            self.transport = AioTransport(delay=delay, loss_rate=loss_rate,
+                                          dup_rate=dup_rate, rng=self.rng)
         enabled = sanitize_enabled() if sanitize is None else sanitize
         self.sanitizer = ClusterSanitizer() if enabled else None
         self.reliability = reliability
@@ -171,17 +178,26 @@ class AioCluster:
     # -- lifecycle -----------------------------------------------------------------
 
     async def start(self) -> None:
-        """Start every node (idempotent)."""
+        """Start every node (idempotent).  A transport with an async
+        ``start`` (the real-socket one binds its listeners there) is
+        started first, so node ``on_start`` traffic has somewhere to go."""
         if self._started:
             return
         self._started = True
+        transport_start = getattr(self.transport, "start", None)
+        if transport_start is not None:
+            await transport_start()
         for driver in list(self.drivers.values()):
             await driver.start()
 
     async def stop(self) -> None:
-        """Stop every node."""
+        """Stop every node (and close an injected transport that owns
+        real resources, via its async ``aclose``)."""
         for driver in list(self.drivers.values()):
             await driver.stop()
+        transport_close = getattr(self.transport, "aclose", None)
+        if transport_close is not None:
+            await transport_close()
         self._started = False
 
     # -- token access ------------------------------------------------------------------

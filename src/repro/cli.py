@@ -19,6 +19,9 @@ Usage (also available as ``python -m repro``):
     python -m repro fuzz --replay tests/fuzz/corpus/<case>.json
     python -m repro chaos [--seed 2001 --runs 20 --profile mixed]
     python -m repro chaos --replay chaos-failures/<case>.json
+    python -m repro serve [-n 3 --protocol fault_tolerant --port 7700]
+    python -m repro loadgen --port 7700 [--ops 1000 --clients 4]
+    python -m repro wire-smoke [-n 3 --ops 2000 --json --out report.json]
 
 Sweep commands accept ``--jobs N`` (or the ``REPRO_JOBS`` environment
 variable) to fan independent cells out over N worker processes; the output
@@ -285,6 +288,98 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", metavar="DIR", default="chaos-failures",
                        help="directory for counterexample files "
                             "(default chaos-failures/)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a real-socket lock service: an in-process token-passing "
+             "cluster on loopback TCP fronted by an acquire/release/status "
+             "network API (stop with Ctrl-C)")
+    serve.add_argument("-n", "--nodes", type=int, default=3,
+                       help="cluster size (default 3)")
+    serve.add_argument("--protocol", choices=PROTOCOLS,
+                       default="fault_tolerant",
+                       help="protocol core (default fault_tolerant)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="service bind host (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7700,
+                       help="service port; 0 picks a free one (default 7700)")
+    serve.add_argument("--delay", type=float, default=0.001,
+                       help="node-to-node transport delay in seconds; also "
+                            "the protocol timer base (default 0.001)")
+    serve.add_argument("--loss-rate", type=float, default=0.0,
+                       help="cheap-message loss probability on the node "
+                            "wire (default 0)")
+    serve.add_argument("--seed", type=int, default=2001,
+                       help="cluster seed (default 2001)")
+    serve.add_argument("--no-reliability", dest="reliability",
+                       action="store_false",
+                       help="disable the ARQ layer on node links")
+    serve.add_argument("--no-supervise", dest="supervise",
+                       action="store_false",
+                       help="disable crash supervision/restart")
+
+    gen = sub.add_parser(
+        "loadgen",
+        help="drive a running lock service with an open- or closed-loop "
+             "workload and print the latency report")
+    gen.add_argument("--host", default="127.0.0.1",
+                     help="service host (default 127.0.0.1)")
+    gen.add_argument("--port", type=int, required=True,
+                     help="service port (see `repro serve`)")
+    gen.add_argument("--mode", choices=("closed", "open"), default="closed",
+                     help="closed: N clients in acquire/release cycles; "
+                          "open: Poisson arrivals (default closed)")
+    gen.add_argument("--ops", type=int, default=1000,
+                     help="total acquire attempts (default 1000)")
+    gen.add_argument("--clients", type=int, default=4,
+                     help="closed-loop concurrent sessions (default 4)")
+    gen.add_argument("--mean-interval", type=float, default=0.01,
+                     help="open-loop mean seconds between arrivals "
+                          "(default 0.01)")
+    gen.add_argument("--spread-nodes", type=int, default=0, metavar="N",
+                     help="open-loop: spread arrivals over nodes 0..N-1; "
+                          "0 lets the server pick (default 0)")
+    gen.add_argument("--hold-time", type=float, default=0.0,
+                     help="seconds to hold the lock per grant (default 0)")
+    gen.add_argument("--think-time", type=float, default=0.0,
+                     help="closed-loop pause between cycles (default 0)")
+    gen.add_argument("--timeout", type=float, default=30.0,
+                     help="per-acquire timeout in seconds (default 30)")
+    gen.add_argument("--seed", type=int, default=0,
+                     help="arrival-process seed (default 0)")
+    gen.add_argument("--json", action="store_true",
+                     help="emit the report as JSON")
+
+    wsmoke = sub.add_parser(
+        "wire-smoke",
+        help="stand up the full real-socket stack in-process (wire "
+             "transport + ARQ + supervision + invariant oracle + lock "
+             "service) and hammer it; exits non-zero unless every op is "
+             "granted with zero violations")
+    wsmoke.add_argument("-n", "--nodes", type=int, default=3,
+                        help="cluster size (default 3)")
+    wsmoke.add_argument("--ops", type=int, default=2000,
+                        help="acquire/release ops (default 2000)")
+    wsmoke.add_argument("--clients", type=int, default=6,
+                        help="closed-loop sessions (default 6)")
+    wsmoke.add_argument("--protocol", choices=PROTOCOLS,
+                        default="fault_tolerant",
+                        help="protocol core (default fault_tolerant)")
+    wsmoke.add_argument("--seed", type=int, default=0,
+                        help="run seed (default 0)")
+    wsmoke.add_argument("--delay", type=float, default=0.001,
+                        help="node wire delay / timer base (default 0.001)")
+    wsmoke.add_argument("--loss-rate", type=float, default=0.0,
+                        help="cheap-message loss on the node wire "
+                             "(default 0)")
+    wsmoke.add_argument("--p99-budget", type=float, default=2.0,
+                        help="acquire-wait p99 budget in seconds "
+                             "(default 2.0)")
+    wsmoke.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    wsmoke.add_argument("--out", metavar="FILE", default=None,
+                        help="also write the report JSON to FILE "
+                             "(CI artifact)")
     return parser
 
 
@@ -912,6 +1007,128 @@ def _cmd_chaos(args) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.aio.cluster import AioCluster
+    from repro.aio.reliability import ReliabilityConfig
+    from repro.aio.supervisor import ClusterSupervisor
+    from repro.wire.server import LockServiceServer
+    from repro.wire.smoke import service_config
+    from repro.wire.transport import WireTransport
+
+    async def _serve() -> None:
+        import random
+
+        transport = WireTransport(delay=args.delay,
+                                  loss_rate=args.loss_rate,
+                                  rng=random.Random(args.seed ^ 0x5EED))
+        cluster = AioCluster(
+            args.protocol, args.nodes, seed=args.seed,
+            config=service_config(args.protocol),
+            transport=transport,
+            reliability=(ReliabilityConfig() if args.reliability else None),
+        )
+        supervisor = ClusterSupervisor(cluster) if args.supervise else None
+        server = LockServiceServer(cluster, host=args.host, port=args.port)
+        await server.start()
+        if supervisor is not None:
+            await supervisor.start()
+        print(f"lock service: {args.protocol} x{args.nodes} on "
+              f"{server.address} (delay={args.delay:g}s, "
+              f"reliability={'on' if args.reliability else 'off'}, "
+              f"supervision={'on' if supervisor else 'off'})")
+        print("Ctrl-C to stop")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            if supervisor is not None:
+                await supervisor.stop()
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+    import json
+
+    from repro.wire.client import LoadGenerator
+
+    async def _drive():
+        generator = LoadGenerator(args.host, args.port, seed=args.seed,
+                                  acquire_timeout=args.timeout)
+        if args.mode == "closed":
+            return await generator.run_closed_loop(
+                args.clients, args.ops,
+                think_time=args.think_time, hold_time=args.hold_time)
+        return await generator.run_open_loop(
+            args.mean_interval, args.ops,
+            n=args.spread_nodes, hold_time=args.hold_time)
+
+    try:
+        report = asyncio.run(_drive())
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    doc = report.as_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            [{"field": key, "value": value} for key, value in doc.items()
+             if key != "error_samples"],
+            ["field", "value"],
+            title=f"{args.mode}-loop load vs {args.host}:{args.port}",
+        ))
+        for sample in doc["error_samples"]:
+            print(f"  error: {sample}", file=sys.stderr)
+    return 0 if report.errors == 0 and report.failures == 0 else 1
+
+
+def _cmd_wire_smoke(args) -> int:
+    import json
+
+    from repro.wire.smoke import run_wire_smoke, save_report
+
+    report = run_wire_smoke(
+        n=args.nodes, ops=args.ops, clients=args.clients,
+        protocol=args.protocol, seed=args.seed, delay=args.delay,
+        loss_rate=args.loss_rate, p99_budget=args.p99_budget,
+    )
+    if args.out:
+        save_report(report, args.out)
+        print(f"report written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        load = report["load"]
+        print(f"wire-smoke: {report['protocol']} x{report['n']} "
+              f"ops={report['ops']} -> grants={load['grants']} "
+              f"failures={load['failures']} errors={load['errors']}")
+        print(f"  wait p50={load['wait_p50_ms']:.2f}ms "
+              f"p99={load['wait_p99_ms']:.2f}ms "
+              f"max={load['wait_max_ms']:.2f}ms "
+              f"({load['throughput_ops_s']:.0f} ops/s over "
+              f"{load['duration_s']:.2f}s)")
+        wire = report["wire"]
+        print(f"  wire frames tx/rx={wire['frames_sent']}/"
+              f"{wire['frames_received']} "
+              f"bytes tx/rx={wire['bytes_sent']}/{wire['bytes_received']} "
+              f"connects={wire['connects']} resets={wire['resets']}")
+        if report["oracle_violation"] is not None:
+            violation = report["oracle_violation"]
+            print(f"  ORACLE VIOLATION {violation['invariant']}: "
+                  f"{violation['detail']}", file=sys.stderr)
+        print(f"  ok={report['ok']}")
+    return 0 if report["ok"] else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
@@ -926,6 +1143,9 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "verify": _cmd_verify,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
+    "wire-smoke": _cmd_wire_smoke,
 }
 
 

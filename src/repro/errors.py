@@ -91,6 +91,26 @@ class MembershipError(ReproError):
     """An invalid group-membership operation was attempted."""
 
 
+class WireError(ReproError):
+    """The real-socket transport layer (:mod:`repro.wire`) failed.
+
+    Base class for everything that can go wrong on a real TCP link; the
+    in-memory transports never raise it."""
+
+
+class FrameError(WireError):
+    """A wire frame violated the framing layer: truncated stream,
+    oversized length prefix, or an unsupported wire version.  The
+    receiving side closes the connection instead of resynchronizing —
+    a length-prefixed stream has no reliable resync point."""
+
+
+class CodecError(WireError):
+    """A frame body failed to decode: malformed JSON, an unregistered
+    message type tag, or field values the message class rejects.  Like
+    :class:`FrameError` this is terminal for the connection."""
+
+
 class FastSimUnsupportedError(ReproError):
     """A configuration outside the array-compiled fast path was requested.
 

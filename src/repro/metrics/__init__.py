@@ -1,7 +1,7 @@
 """Metrics: responsiveness (Definition 3), message counters, fairness
 auditing (Theorem 3), per-key fabric aggregation, and summary statistics."""
 
-from repro.metrics.counters import MessageCounters
+from repro.metrics.counters import MessageCounters, WireCounters
 from repro.metrics.fairness import FairnessAuditor
 from repro.metrics.keyed import KeyedMetricsRegistry, KeyStats, LatencyHistogram
 from repro.metrics.responsiveness import ResponsivenessTracker
@@ -24,6 +24,7 @@ __all__ = [
     "ResponsivenessTracker",
     "TraceEvent",
     "TraceRecorder",
+    "WireCounters",
     "confidence_interval",
     "mean",
     "median",

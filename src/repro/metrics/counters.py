@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-__all__ = ["MessageCounters", "ReliabilityCounters"]
+__all__ = ["MessageCounters", "ReliabilityCounters", "WireCounters"]
 
 #: Rotation hops plus loans and returns — every token movement.
 _TOKEN_PASS_TYPES = frozenset({"TokenMsg", "LoanMsg", "LoanReturnMsg"})
@@ -107,3 +107,42 @@ class ReliabilityCounters:
             "dedup_drops": self.dedup_drops,
             "give_ups": self.give_ups,
         }
+
+
+class WireCounters:
+    """Accounting for the real-socket transport (:mod:`repro.wire`).
+
+    - ``frames_sent`` / ``frames_received`` — codec frames that crossed a
+      TCP connection (after fault injection; a dropped message never
+      reaches the wire);
+    - ``bytes_sent`` / ``bytes_received`` — encoded frame volume;
+    - ``connects`` — successful outbound connection establishments
+      (initial dials and reconnects alike);
+    - ``connect_failures`` — dial attempts that failed and went back to
+      jittered backoff;
+    - ``resets`` — established connections that broke mid-stream (any
+      frames buffered in the dead socket are genuinely lost on the wire);
+    - ``backpressure_drops`` — sends refused because the destination
+      link's bounded queue was full (slow or unreachable peer);
+    - ``codec_errors`` — inbound frames that violated framing or failed
+      to decode; each one closes its connection.
+    """
+
+    __slots__ = ("frames_sent", "frames_received", "bytes_sent",
+                 "bytes_received", "connects", "connect_failures",
+                 "resets", "backpressure_drops", "codec_errors")
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.connects = 0
+        self.connect_failures = 0
+        self.resets = 0
+        self.backpressure_drops = 0
+        self.codec_errors = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot for reporting."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}

@@ -1,0 +1,298 @@
+"""Lock-service client and load generator.
+
+:class:`LockClient` is one connection to a :class:`LockServiceServer`:
+requests are assigned monotonically increasing ``req_id``s, a background
+reader task correlates replies back to their awaiting futures, so one
+connection can pipeline any number of concurrent requests.
+
+:class:`LoadGenerator` drives a service the way the simulation workloads
+drive a cluster:
+
+- **closed loop** — ``clients`` concurrent sessions, each cycling
+  acquire -> hold (``think_time``) -> release until the shared op budget
+  is spent: the wall-clock form of
+  :class:`~repro.workload.generators.SaturatedWorkload`;
+- **open loop** — Poisson arrivals precomputed by
+  :func:`~repro.workload.generators.open_loop_arrivals` (the wall-clock
+  form of :class:`~repro.workload.generators.FixedRateWorkload`), each
+  arrival an independent acquire/release pair fired at its scheduled
+  offset regardless of how earlier ones are faring.
+
+All latency accounting lands in a log-bucketed
+:class:`~repro.metrics.keyed.LatencyHistogram` (p50/p99 without sample
+lists) and is summarized in a :class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, WireError
+from repro.metrics.keyed import LatencyHistogram
+from repro.wire.codec import MAX_FRAME, encode_frame, read_frame
+from repro.wire.service import (
+    AcquireReply,
+    AcquireRequest,
+    ReleaseReply,
+    ReleaseRequest,
+    StatusReply,
+    StatusRequest,
+)
+from repro.workload.generators import open_loop_arrivals
+
+__all__ = ["LockClient", "LoadReport", "LoadGenerator"]
+
+
+class LockClient:
+    """One pipelined connection to the lock service."""
+
+    def __init__(self, host: str, port: int,
+                 max_frame: int = MAX_FRAME) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_req = 0
+
+    async def connect(self) -> "LockClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_replies(), name=f"lock-client-{self.port}")
+        return self
+
+    async def aclose(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._fail_pending(WireError("client closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_replies(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                _, _, msg = await read_frame(self._reader, self.max_frame)
+                req_id = getattr(msg, "req_id", None)
+                if not isinstance(req_id, int):
+                    continue  # not a service reply; ignore
+                future = self._pending.pop(req_id, None)
+                if future is not None and not future.done():
+                    future.set_result(msg)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            self._fail_pending(WireError("server closed the connection"))
+        except Exception as exc:  # codec violation: the stream is dead
+            self._fail_pending(exc)
+
+    async def _call(self, msg: object, req_id: int) -> object:
+        if self._writer is None:
+            raise WireError("client is not connected")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        self._writer.write(encode_frame(-1, -1, msg))
+        await self._writer.drain()
+        return await future
+
+    def _req_id(self) -> int:
+        self._next_req += 1
+        return self._next_req
+
+    async def acquire(self, node: int = -1,
+                      timeout: float = 0.0) -> AcquireReply:
+        """Acquire the lock (on ``node``, or server-chosen when -1)."""
+        req_id = self._req_id()
+        reply = await self._call(
+            AcquireRequest(req_id=req_id, node=node, timeout=timeout), req_id)
+        if not isinstance(reply, AcquireReply):
+            raise WireError(f"unexpected reply {type(reply).__name__}")
+        return reply
+
+    async def release(self, node: int) -> ReleaseReply:
+        """Release a held grant on ``node``."""
+        req_id = self._req_id()
+        reply = await self._call(
+            ReleaseRequest(req_id=req_id, node=node), req_id)
+        if not isinstance(reply, ReleaseReply):
+            raise WireError(f"unexpected reply {type(reply).__name__}")
+        return reply
+
+    async def status(self) -> StatusReply:
+        """Fetch the service's health snapshot."""
+        req_id = self._req_id()
+        reply = await self._call(StatusRequest(req_id=req_id), req_id)
+        if not isinstance(reply, StatusReply):
+            raise WireError(f"unexpected reply {type(reply).__name__}")
+        return reply
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str
+    ops: int
+    grants: int = 0
+    failures: int = 0
+    errors: int = 0
+    duration: float = 0.0
+    wait_p50: float = 0.0
+    wait_p99: float = 0.0
+    wait_mean: float = 0.0
+    wait_max: float = 0.0
+    error_samples: List[str] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Granted operations per second."""
+        return self.grants / self.duration if self.duration > 0 else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "ops": self.ops,
+            "grants": self.grants,
+            "failures": self.failures,
+            "errors": self.errors,
+            "duration_s": round(self.duration, 6),
+            "throughput_ops_s": round(self.throughput, 3),
+            "wait_p50_ms": round(self.wait_p50 * 1e3, 3),
+            "wait_p99_ms": round(self.wait_p99 * 1e3, 3),
+            "wait_mean_ms": round(self.wait_mean * 1e3, 3),
+            "wait_max_ms": round(self.wait_max * 1e3, 3),
+            "error_samples": list(self.error_samples[:5]),
+        }
+
+
+class LoadGenerator:
+    """Open/closed-loop arrival processes against a live lock service."""
+
+    def __init__(self, host: str, port: int, seed: int = 0,
+                 acquire_timeout: float = 30.0) -> None:
+        if acquire_timeout <= 0:
+            raise ConfigError(
+                f"acquire_timeout must be positive, got {acquire_timeout}")
+        self.host = host
+        self.port = port
+        self.seed = seed
+        self.acquire_timeout = acquire_timeout
+        self.histogram = LatencyHistogram()
+
+    def _observe(self, report: LoadReport, reply: AcquireReply) -> None:
+        if reply.ok:
+            report.grants += 1
+            self.histogram.add(reply.waited)
+        else:
+            report.failures += 1
+            if reply.error and len(report.error_samples) < 5:
+                report.error_samples.append(reply.error)
+
+    def _finish(self, report: LoadReport, started: float) -> LoadReport:
+        report.duration = asyncio.get_running_loop().time() - started
+        hist = self.histogram
+        report.wait_p50 = hist.percentile(50.0)
+        report.wait_p99 = hist.percentile(99.0)
+        report.wait_mean = hist.mean
+        report.wait_max = hist.max
+        return report
+
+    # -- closed loop -------------------------------------------------------------
+
+    async def run_closed_loop(self, clients: int, ops: int,
+                              think_time: float = 0.0,
+                              hold_time: float = 0.0) -> LoadReport:
+        """``clients`` sessions, each acquire -> hold -> release, sharing
+        an op budget of ``ops`` total acquire attempts."""
+        if clients < 1:
+            raise ConfigError(f"clients must be >= 1, got {clients}")
+        if ops < 1:
+            raise ConfigError(f"ops must be >= 1, got {ops}")
+        report = LoadReport(mode="closed", ops=ops)
+        budget = iter(range(ops))
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+
+        async def _client(index: int) -> None:
+            client = LockClient(self.host, self.port)
+            await client.connect()
+            try:
+                for _ in budget:
+                    try:
+                        reply = await client.acquire(
+                            timeout=self.acquire_timeout)
+                        self._observe(report, reply)
+                        if not reply.ok:
+                            continue
+                        if hold_time > 0:
+                            await asyncio.sleep(hold_time)
+                        await client.release(reply.node)
+                        if think_time > 0:
+                            await asyncio.sleep(think_time)
+                    except WireError as exc:
+                        report.errors += 1
+                        if len(report.error_samples) < 5:
+                            report.error_samples.append(str(exc))
+                        return  # the connection is gone; retire the client
+            finally:
+                await client.aclose()
+
+        await asyncio.gather(*(
+            _client(index) for index in range(min(clients, ops))))
+        return self._finish(report, started)
+
+    # -- open loop ---------------------------------------------------------------
+
+    async def run_open_loop(self, mean_interval: float, ops: int,
+                            n: int, hold_time: float = 0.0) -> LoadReport:
+        """Poisson arrivals at 1/``mean_interval`` ops/s across ``n``
+        service nodes; each arrival is an independent acquire/release.
+        ``n=0`` leaves node choice to the server for every arrival."""
+        if n < 0:
+            raise ConfigError(f"n must be >= 0, got {n}")
+        report = LoadReport(mode="open", ops=ops)
+        arrivals = open_loop_arrivals(
+            mean_interval, ops, max(n, 1), random.Random(self.seed))
+        if n == 0:
+            arrivals = [(at, -1) for at, _ in arrivals]
+        client = await LockClient(self.host, self.port).connect()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+
+        async def _arrival(at: float, node: int) -> None:
+            await asyncio.sleep(max(0.0, at - (loop.time() - started)))
+            try:
+                reply = await client.acquire(
+                    node=node, timeout=self.acquire_timeout)
+                self._observe(report, reply)
+                if reply.ok:
+                    if hold_time > 0:
+                        await asyncio.sleep(hold_time)
+                    await client.release(reply.node)
+            except WireError as exc:
+                report.errors += 1
+                if len(report.error_samples) < 5:
+                    report.error_samples.append(str(exc))
+
+        try:
+            await asyncio.gather(*(
+                _arrival(at, node) for at, node in arrivals))
+        finally:
+            await client.aclose()
+        return self._finish(report, started)

@@ -1,0 +1,214 @@
+"""Versioned length-prefixed frame codec for the real-socket transport.
+
+Every message that crosses a TCP connection — protocol traffic between
+nodes, ARQ frames, lock-service requests and replies — is one *frame*:
+
+    +----------------+---------+------------------------------------+
+    | length (4B !I) | version | UTF-8 JSON body                    |
+    +----------------+---------+------------------------------------+
+
+``length`` counts everything after the prefix (version byte included).
+The body is ``{"s": src, "d": dst, "m": <message>}`` where a message is
+``{"t": "<TypeName>", "f": {field: value, ...}}``.  Field values are the
+JSON image of the dataclass fields; tuples are serialized as JSON arrays
+and restored on decode (no message field is a ``list``, so the mapping is
+unambiguous), and a field that is itself a registered message — the ARQ
+:class:`~repro.aio.reliability.DataFrame` carrying a token payload — is
+encoded recursively under a ``{"!": ...}`` wrapper.
+
+Deliberately JSON, deliberately not pickle: the decoder can only ever
+construct message classes that were explicitly registered, so a hostile
+peer cannot instantiate arbitrary objects.
+
+Failure taxonomy (all close the connection — a length-prefixed stream
+has no reliable resynchronization point):
+
+- :class:`~repro.errors.FrameError` — framing violation: a length prefix
+  beyond ``max_frame``, a zero-length body, or an unsupported version;
+- :class:`~repro.errors.CodecError` — body violation: malformed UTF-8 or
+  JSON, a missing envelope key, an unregistered type tag, or field
+  values the message class rejects;
+- ``asyncio.IncompleteReadError`` — the peer closed mid-frame (surfaced
+  by :func:`read_frame`; treated as a connection reset, not a protocol
+  error).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.errors import CodecError, FrameError
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME",
+    "register_message",
+    "registered_messages",
+    "encode_frame",
+    "decode_body",
+    "read_frame",
+]
+
+WIRE_VERSION = 1
+
+#: Default ceiling on the post-prefix frame size.  Protocol messages are
+#: tens to hundreds of bytes; anything near this bound is an attack or a
+#: desynchronized stream.
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct("!I")
+
+_BY_NAME: Dict[str, Tuple[Type, Tuple[str, ...]]] = {}
+_BY_CLASS: Dict[Type, Tuple[str, Tuple[str, ...]]] = {}
+
+
+def register_message(cls: Type) -> Type:
+    """Register a frozen dataclass for wire transport (idempotent).
+
+    The class name is the wire tag, so renaming a message class is a wire
+    protocol change.  Returns ``cls`` so it can be used as a decorator."""
+    if not dataclasses.is_dataclass(cls):
+        raise CodecError(f"{cls!r} is not a dataclass; cannot register")
+    name = cls.__name__
+    fields = tuple(f.name for f in dataclasses.fields(cls))
+    known = _BY_NAME.get(name)
+    if known is not None and known[0] is not cls:
+        raise CodecError(f"message tag {name!r} already registered by {known[0]!r}")
+    _BY_NAME[name] = (cls, fields)
+    _BY_CLASS[cls] = (name, fields)
+    return cls
+
+
+def registered_messages() -> Dict[str, Type]:
+    """Tag -> class view of the registry (diagnostics, tests)."""
+    return {name: cls for name, (cls, _) in _BY_NAME.items()}
+
+
+def _register_builtins() -> None:
+    from repro.aio.reliability import AckFrame, DataFrame
+    from repro.core import messages
+
+    for name in messages.__all__:
+        cls = getattr(messages, name)
+        if dataclasses.is_dataclass(cls):
+            register_message(cls)
+    register_message(DataFrame)
+    register_message(AckFrame)
+
+
+def _encode_value(value: Any) -> Any:
+    if type(value) in _BY_CLASS:
+        return {"!": _encode_message(value)}
+    if isinstance(value, tuple):
+        return [_encode_value(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CodecError(
+        f"unencodable field value {value!r} ({type(value).__name__})")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "!" not in value:
+            raise CodecError(f"unexpected object field {value!r}")
+        return _decode_message(value["!"])
+    if isinstance(value, list):
+        return tuple(_decode_value(item) for item in value)
+    return value
+
+
+def _encode_message(msg: object) -> Dict[str, Any]:
+    entry = _BY_CLASS.get(type(msg))
+    if entry is None:
+        raise CodecError(
+            f"unregistered message type {type(msg).__name__!r}; "
+            f"register_message() it before sending over the wire")
+    name, fields = entry
+    return {"t": name,
+            "f": {f: _encode_value(getattr(msg, f)) for f in fields}}
+
+
+def _decode_message(doc: Any) -> object:
+    if not isinstance(doc, dict):
+        raise CodecError(f"message document must be an object, got {doc!r}")
+    name = doc.get("t")
+    entry = _BY_NAME.get(name) if isinstance(name, str) else None
+    if entry is None:
+        raise CodecError(f"unknown message type tag {name!r}")
+    cls, fields = entry
+    raw = doc.get("f")
+    if not isinstance(raw, dict):
+        raise CodecError(f"message {name!r} has no field object")
+    try:
+        return cls(**{key: _decode_value(value) for key, value in raw.items()})
+    except TypeError as exc:
+        raise CodecError(f"bad fields for {name!r}: {exc}") from None
+
+
+def encode_frame(src: int, dst: int, msg: object) -> bytes:
+    """One complete frame: length prefix, version byte, JSON body."""
+    body = json.dumps(
+        {"s": src, "d": dst, "m": _encode_message(msg)},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    payload = bytes((WIRE_VERSION,)) + body
+    if len(payload) > MAX_FRAME:
+        raise FrameError(
+            f"encoded frame is {len(payload)} bytes (max {MAX_FRAME})")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_body(payload: bytes) -> Tuple[int, int, object]:
+    """Decode one frame body (everything after the length prefix) into
+    ``(src, dst, message)``."""
+    if not payload:
+        raise FrameError("zero-length frame body")
+    version = payload[0]
+    if version != WIRE_VERSION:
+        raise FrameError(
+            f"unsupported wire version {version} (speak {WIRE_VERSION})")
+    try:
+        doc = json.loads(payload[1:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed frame body: {exc}") from None
+    if not isinstance(doc, dict):
+        raise CodecError(f"frame body must be an object, got {doc!r}")
+    try:
+        src, dst, msg_doc = doc["s"], doc["d"], doc["m"]
+    except KeyError as exc:
+        raise CodecError(f"frame body missing envelope key {exc}") from None
+    if not isinstance(src, int) or not isinstance(dst, int):
+        raise CodecError(f"frame endpoints must be ints, got {src!r}->{dst!r}")
+    return src, dst, _decode_message(msg_doc)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame: int = MAX_FRAME,
+    on_bytes: Optional[Callable[[int], None]] = None,
+) -> Tuple[int, int, object]:
+    """Read exactly one frame from a stream.
+
+    Raises :class:`~repro.errors.FrameError` on an oversized or
+    undersized length prefix, :class:`~repro.errors.CodecError` on a body
+    that does not decode, and ``asyncio.IncompleteReadError`` when the
+    peer closes mid-frame.  Never returns partial data and never blocks
+    past the bytes one frame needs — a garbage prefix fails immediately
+    instead of waiting for gigabytes that will never arrive."""
+    prefix = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(prefix)
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > max_frame:
+        raise FrameError(f"frame of {length} bytes exceeds max {max_frame}")
+    payload = await reader.readexactly(length)
+    if on_bytes is not None:
+        on_bytes(_LEN.size + length)
+    return decode_body(payload)
+
+
+_register_builtins()

@@ -1,0 +1,105 @@
+"""Lock-service request/reply messages (the network API surface).
+
+The token-passing substrate is ultimately a *service* contract: clients
+acquire, hold, and release a mutual-exclusion lock, and ask the service
+how it is doing.  These frozen dataclasses are that contract on the wire
+— they ride the same versioned frame codec as the protocol traffic, and
+every request carries a client-chosen ``req_id`` echoed by its reply so
+one connection can pipeline requests.
+
+``node`` selects which cluster member the request lands on; ``-1`` lets
+the server pick (round-robin), which is what a load balancer in front of
+a real deployment would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.wire.codec import register_message
+
+__all__ = [
+    "AcquireRequest",
+    "AcquireReply",
+    "ReleaseRequest",
+    "ReleaseReply",
+    "StatusRequest",
+    "StatusReply",
+]
+
+
+@register_message
+@dataclass(frozen=True)
+class AcquireRequest:
+    """Acquire the lock.  ``timeout`` of 0 waits forever; a positive
+    timeout turns a starving acquire into a clean ``ok=False`` reply."""
+
+    req_id: int
+    node: int = -1
+    timeout: float = 0.0
+
+    reliable = True
+
+
+@register_message
+@dataclass(frozen=True)
+class AcquireReply:
+    """Grant (``ok=True``: the client now holds ``node``'s lock until it
+    releases) or failure (``ok=False`` with ``error``)."""
+
+    req_id: int
+    ok: bool
+    node: int = -1
+    waited: float = 0.0
+    error: str = ""
+
+    reliable = True
+
+
+@register_message
+@dataclass(frozen=True)
+class ReleaseRequest:
+    """Release the lock previously granted on ``node``."""
+
+    req_id: int
+    node: int
+
+    reliable = True
+
+
+@register_message
+@dataclass(frozen=True)
+class ReleaseReply:
+    req_id: int
+    ok: bool
+    error: str = ""
+
+    reliable = True
+
+
+@register_message
+@dataclass(frozen=True)
+class StatusRequest:
+    req_id: int
+
+    reliable = True
+
+
+@register_message
+@dataclass(frozen=True)
+class StatusReply:
+    """Service health: cluster size, grants served, per-node queue depth
+    (as ``(node, waiters)`` pairs for nodes with waiters), crashed
+    members, and server uptime in seconds."""
+
+    req_id: int
+    ok: bool
+    n: int = 0
+    protocol: str = ""
+    grants: int = 0
+    pending: Tuple[Tuple[int, int], ...] = ()
+    crashed: Tuple[int, ...] = ()
+    uptime: float = 0.0
+
+    reliable = True

@@ -1,0 +1,308 @@
+"""Real asyncio TCP transport behind the :class:`AioTransport` interface.
+
+:class:`WireTransport` keeps the exact contract every runtime layer is
+built against — ``attach``/``detach``, ``send``, crash/partition fault
+injection, the ``on_send``/``on_deliver``/``on_drop`` hook surface — but
+moves the data path onto real loopback sockets:
+
+- every attached node gets its own listening TCP server (its "address" is
+  a real ``(host, port)`` endpoint, allocated by the kernel);
+- outbound traffic to one destination rides **one multiplexed TCP
+  connection** shared by every local sender (frames carry their logical
+  ``src``/``dst``, so one socket carries all lanes to that peer);
+- each link has a **bounded send queue**; the writer coroutine applies
+  real TCP backpressure via ``drain()`` and a full queue refuses the send
+  (``on_drop`` reason ``"backpressure"``) instead of buffering without
+  bound;
+- a broken or unreachable connection is redialed with **exponential
+  backoff plus seeded jitter**; frames enqueued meanwhile wait, frames
+  half-written into the dead socket are genuinely lost on the wire.
+
+Fault injection is inherited from :class:`AioTransport` and applied at
+the socket boundary: a lost or partition-dropped message never reaches a
+socket, a parked expensive message is written the moment the link heals,
+and a crashed destination discards frames after they cross the wire —
+the same observable semantics the in-memory transport gives the ARQ,
+supervision, and oracle layers, which therefore attach unchanged.
+
+The artificial ``delay`` is still honoured (it is what scales protocol
+timers; see ``AioNodeDriver._timer_scale``): a frame is handed to its
+link ``delay`` seconds after ``send``, then crosses the real socket.
+With ``delay=0`` the wire's own latency is all there is — but timers
+then run at microsecond scale, so real deployments keep a small
+artificial delay as the protocol's time base.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.aio.transport import AioTransport
+from repro.errors import CodecError, FrameError, WireError
+from repro.metrics.counters import WireCounters
+from repro.wire.codec import MAX_FRAME, encode_frame, read_frame
+
+__all__ = ["WireConfig", "WireTransport"]
+
+
+class WireConfig:
+    """Socket-layer knobs for :class:`WireTransport`."""
+
+    __slots__ = ("host", "max_queue", "max_frame", "reconnect_base",
+                 "reconnect_max", "jitter")
+
+    def __init__(self, host: str = "127.0.0.1", max_queue: int = 1024,
+                 max_frame: int = MAX_FRAME, reconnect_base: float = 0.02,
+                 reconnect_max: float = 1.0, jitter: float = 0.5) -> None:
+        if max_queue < 1:
+            raise WireError(f"max_queue must be >= 1, got {max_queue}")
+        if reconnect_base <= 0 or reconnect_max < reconnect_base:
+            raise WireError(
+                f"need 0 < reconnect_base <= reconnect_max, got "
+                f"{reconnect_base}/{reconnect_max}")
+        self.host = host
+        self.max_queue = max_queue
+        self.max_frame = max_frame
+        self.reconnect_base = reconnect_base
+        self.reconnect_max = reconnect_max
+        self.jitter = jitter
+
+
+class _PeerLink:
+    """One outbound multiplexed connection: bounded queue + writer task."""
+
+    __slots__ = ("transport", "dst", "queue", "task", "writer")
+
+    def __init__(self, transport: "WireTransport", dst: int) -> None:
+        self.transport = transport
+        self.dst = dst
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=transport.wire_config.max_queue)
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"wire-link-{dst}")
+
+    def offer(self, frame: bytes, src: int, msg: object) -> bool:
+        """Enqueue one encoded frame; False when the bounded queue is full."""
+        try:
+            self.queue.put_nowait((frame, src, msg))
+        except asyncio.QueueFull:
+            return False
+        return True
+
+    async def _dial(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Connect to the destination's server, backing off with jitter
+        until it is reachable (its port may not even be bound yet)."""
+        transport = self.transport
+        cfg = transport.wire_config
+        backoff = cfg.reconnect_base
+        while True:
+            port = transport.port_of(self.dst)
+            if port is not None:
+                try:
+                    pair = await asyncio.open_connection(cfg.host, port)
+                    transport.counters.connects += 1
+                    return pair
+                except OSError:
+                    transport.counters.connect_failures += 1
+            await asyncio.sleep(
+                backoff * (1.0 + cfg.jitter * transport.rng.random()))
+            backoff = min(backoff * 2.0, cfg.reconnect_max)
+
+    async def _run(self) -> None:
+        counters = self.transport.counters
+        while True:
+            frame, src, msg = await self.queue.get()
+            if self.writer is None:
+                _, self.writer = await self._dial()
+            try:
+                self.writer.write(frame)
+                await self.writer.drain()
+                counters.frames_sent += 1
+                counters.bytes_sent += len(frame)
+            except (ConnectionError, OSError):
+                # The frame (and anything the kernel still buffered) is
+                # lost on the wire; the next queued frame redials.
+                counters.resets += 1
+                self._close_writer()
+
+    def _close_writer(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+
+    def reset(self) -> None:
+        """Forcibly sever the live connection (fault injection)."""
+        self._close_writer()
+
+    async def aclose(self) -> None:
+        self.task.cancel()
+        try:
+            await self.task
+        except asyncio.CancelledError:
+            pass
+        self._close_writer()
+
+
+class WireTransport(AioTransport):
+    """The :class:`AioTransport` contract over real TCP loopback sockets."""
+
+    def __init__(
+        self,
+        delay: float = 0.001,
+        loss_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        wire_config: Optional[WireConfig] = None,
+        counters: Optional[WireCounters] = None,
+    ) -> None:
+        super().__init__(delay=delay, loss_rate=loss_rate,
+                         dup_rate=dup_rate, rng=rng)
+        self.wire_config = wire_config if wire_config is not None else WireConfig()
+        self.counters = counters if counters is not None else WireCounters()
+        #: Last framing/codec violation seen on an inbound connection
+        #: (the connection was closed; this is the post-mortem).
+        self.last_wire_error: Optional[WireError] = None
+        self._servers: Dict[int, "asyncio.Server"] = {}
+        self._ports: Dict[int, int] = {}
+        self._links: Dict[int, _PeerLink] = {}
+        self._binding: set = set()
+        self._inbound: set = set()
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`aclose`."""
+        return self._running
+
+    async def start(self) -> None:
+        """Bind one listening server per attached node (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        for node_id in list(self._inboxes):
+            await self._bind(node_id)
+
+    async def aclose(self) -> None:
+        """Close every link and server; the transport cannot be restarted."""
+        self._running = False
+        for link in list(self._links.values()):
+            await link.aclose()
+        self._links.clear()
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        self._ports.clear()
+        # Closing the inbound writers lets every _serve loop finish on its
+        # own (reader hits EOF) instead of dying cancelled at loop
+        # teardown, which asyncio's stream glue logs noisily.
+        for writer in list(self._inbound):
+            writer.close()
+        await asyncio.sleep(0)
+
+    def attach(self, node_id: int) -> asyncio.Queue:
+        inbox = super().attach(node_id)
+        if self._running and node_id not in self._servers:
+            # Late joiner on a live transport: bind its server as a task.
+            # Frames addressed to it meanwhile sit in link queues redialing.
+            asyncio.get_running_loop().create_task(self._bind(node_id))
+        return inbox
+
+    async def _bind(self, node_id: int) -> None:
+        if (node_id in self._servers or node_id in self._binding
+                or not self._running):
+            return
+        self._binding.add(node_id)
+        try:
+            server = await asyncio.start_server(
+                lambda r, w, _nid=node_id: self._serve(_nid, r, w),
+                self.wire_config.host, 0)
+        finally:
+            self._binding.discard(node_id)
+        if not self._running:
+            server.close()
+            return
+        # A node keeps its server (and port) across detach/re-attach:
+        # restarts do not move its address, so peers simply reconnect.
+        self._servers[node_id] = server
+        self._ports[node_id] = server.sockets[0].getsockname()[1]
+
+    def port_of(self, node_id: int) -> Optional[int]:
+        """The real TCP port ``node_id`` listens on (None before bind)."""
+        return self._ports.get(node_id)
+
+    def address_of(self, node_id: int) -> Optional[Tuple[str, int]]:
+        """The real ``(host, port)`` endpoint of an attached node."""
+        port = self._ports.get(node_id)
+        if port is None:
+            return None
+        return (self.wire_config.host, port)
+
+    # -- fault injection (socket layer) -------------------------------------------
+
+    def reset_connections(self, dst: Optional[int] = None) -> None:
+        """Sever live outbound TCP connections (to ``dst``, or all): the
+        chaos-style "connection reset" fault.  Frames buffered in a dead
+        socket are lost; the links redial with backoff on the next send."""
+        for node, link in self._links.items():
+            if dst is None or node == dst:
+                link.reset()
+
+    # -- data path -----------------------------------------------------------------
+
+    def _schedule(self, src: int, dst: int, msg: object) -> None:
+        # Fault injection already ran in the inherited send(); from here
+        # the message is committed to the wire after the artificial delay.
+        loop = asyncio.get_running_loop()
+        if self.delay > 0:
+            loop.call_later(self.delay, self._transmit, src, dst, msg)
+        else:
+            self._transmit(src, dst, msg)
+
+    def _transmit(self, src: int, dst: int, msg: object) -> None:
+        if not self._running:
+            self._drop(src, dst, msg, "detached")
+            return
+        frame = encode_frame(src, dst, msg)
+        link = self._links.get(dst)
+        if link is None:
+            link = self._links[dst] = _PeerLink(self, dst)
+        if not link.offer(frame, src, msg):
+            self.counters.backpressure_drops += 1
+            self._drop(src, dst, msg, "backpressure")
+
+    async def _serve(self, node_id: int, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """One inbound connection: decode frames, hand them to the
+        inherited delivery path (crash/detach checks, hooks, inbox)."""
+        counters = self.counters
+
+        def _count(nbytes: int) -> None:
+            counters.bytes_received += nbytes
+
+        self._inbound.add(writer)
+        try:
+            while True:
+                src, dst, msg = await read_frame(
+                    reader, self.wire_config.max_frame, on_bytes=_count)
+                counters.frames_received += 1
+                self._deliver(src, dst, msg)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # peer went away (cleanly or mid-frame): just close
+        except asyncio.CancelledError:
+            # Loop teardown cancelled us mid-read; finishing normally keeps
+            # asyncio's stream connection-callback from logging the cancel.
+            pass
+        except (FrameError, CodecError) as exc:
+            # A violating frame poisons the whole stream: close the
+            # connection with the typed error recorded, never hang.
+            counters.codec_errors += 1
+            self.last_wire_error = exc
+        finally:
+            self._inbound.discard(writer)
+            writer.close()

@@ -8,6 +8,7 @@ from repro.workload.generators import (
     SingleShotWorkload,
     UniformIntervalWorkload,
     Workload,
+    open_loop_arrivals,
 )
 from repro.workload.keyed import (
     ClosedLoopKeyedWorkload,
@@ -27,5 +28,6 @@ __all__ = [
     "UniformIntervalWorkload",
     "Workload",
     "ZipfKeyedWorkload",
+    "open_loop_arrivals",
     "zipf_cdf",
 ]

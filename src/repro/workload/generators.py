@@ -19,7 +19,8 @@ saturation (ring protocols' home turf), and single-shot probes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import random
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
@@ -31,7 +32,30 @@ __all__ = [
     "HotspotWorkload",
     "SaturatedWorkload",
     "SingleShotWorkload",
+    "open_loop_arrivals",
 ]
+
+
+def open_loop_arrivals(mean_interval: float, count: int, n: int,
+                       rng: random.Random) -> List[Tuple[float, int]]:
+    """Precompute ``count`` global Poisson arrivals ``(time, node)``.
+
+    The wall-clock form of :class:`FixedRateWorkload` (same draw order:
+    exponential gap, then a uniform node, per arrival) for drivers that
+    have no simulator to schedule on — the wire load generator replays
+    the returned schedule against a real lock service."""
+    if mean_interval <= 0:
+        raise ConfigError(f"mean_interval must be positive, got {mean_interval}")
+    if n < 1:
+        raise ConfigError(f"n must be >= 1, got {n}")
+    if count < 0:
+        raise ConfigError(f"count must be >= 0, got {count}")
+    arrivals: List[Tuple[float, int]] = []
+    now = 0.0
+    for _ in range(count):
+        now += rng.expovariate(1.0 / mean_interval)
+        arrivals.append((now, rng.randrange(n)))
+    return arrivals
 
 
 class Workload:

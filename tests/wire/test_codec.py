@@ -1,0 +1,287 @@
+"""Wire codec: property-tested round-trips and adversarial frames.
+
+The round-trip half derives a hypothesis strategy from each registered
+message class's field annotations, so a message type added tomorrow is
+property-tested automatically.  The adversarial half feeds the reader
+truncated, oversized, and garbage frames and requires a *typed* error
+(or clean ``IncompleteReadError``) immediately — a framing violation must
+never hang the reader coroutine waiting for bytes that will not come.
+"""
+
+import asyncio
+import dataclasses
+import json
+import struct
+import typing
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aio.reliability import AckFrame, DataFrame
+from repro.core.messages import GimmeMsg, TokenMsg
+from repro.errors import CodecError, FrameError
+from repro.wire.codec import (
+    MAX_FRAME,
+    WIRE_VERSION,
+    decode_body,
+    encode_frame,
+    read_frame,
+    register_message,
+    registered_messages,
+)
+from repro.wire.service import AcquireReply, StatusReply
+
+# -- strategies derived from the registry ------------------------------------------
+
+_SCALARS = {
+    int: st.integers(min_value=-(2**53), max_value=2**53),
+    bool: st.booleans(),
+    float: st.floats(allow_nan=False, allow_infinity=False, width=32),
+    str: st.text(max_size=40),
+}
+
+
+def _strategy_for(annotation):
+    if annotation in _SCALARS:
+        return _SCALARS[annotation]
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+    if origin is typing.Union:  # Optional[T]
+        options = [st.none() if a is type(None) else _strategy_for(a)
+                   for a in args]
+        return st.one_of(*options)
+    if origin is tuple:
+        if len(args) == 2 and args[1] is Ellipsis:
+            return st.lists(_strategy_for(args[0]), max_size=6).map(tuple)
+        return st.tuples(*(_strategy_for(a) for a in args))
+    raise AssertionError(f"no strategy for annotation {annotation!r}")
+
+
+def _message_strategy(cls):
+    hints = typing.get_type_hints(cls)
+    return st.builds(cls, **{
+        f.name: _strategy_for(hints[f.name])
+        for f in dataclasses.fields(cls)
+    })
+
+
+# DataFrame's payload is `object`; give it a registered protocol message.
+_SIMPLE = [cls for cls in registered_messages().values()
+           if cls not in (DataFrame,)
+           and all(typing.get_type_hints(cls).get(f.name) is not object
+                   for f in dataclasses.fields(cls))]
+
+any_simple_message = st.one_of(*(_message_strategy(cls) for cls in _SIMPLE))
+any_dataframe = st.builds(
+    DataFrame,
+    seq=st.integers(min_value=0, max_value=2**31),
+    incarnation=st.integers(min_value=0, max_value=64),
+    payload=st.one_of(_message_strategy(TokenMsg), _message_strategy(GimmeMsg)),
+)
+any_message = st.one_of(any_simple_message, any_dataframe)
+endpoints = st.integers(min_value=-1, max_value=10_000)
+
+
+class TestRoundTrip:
+    @given(src=endpoints, dst=endpoints, msg=any_message)
+    @settings(max_examples=200, deadline=None)
+    def test_encode_decode_identity(self, src, dst, msg):
+        frame = encode_frame(src, dst, msg)
+        (length,) = struct.unpack("!I", frame[:4])
+        assert length == len(frame) - 4
+        assert frame[4] == WIRE_VERSION
+        out_src, out_dst, out_msg = decode_body(frame[4:])
+        assert (out_src, out_dst) == (src, dst)
+        assert out_msg == msg
+        assert type(out_msg) is type(msg)
+
+    @given(msg=any_message)
+    @settings(max_examples=100, deadline=None)
+    def test_reader_accepts_what_encoder_writes(self, msg):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(3, 7, msg))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        src, dst, out = asyncio.run(main())
+        assert (src, dst, out) == (3, 7, msg)
+
+    def test_every_core_message_type_is_registered(self):
+        from repro.core import messages
+
+        registry = registered_messages()
+        for name in messages.__all__:
+            cls = getattr(messages, name)
+            if dataclasses.is_dataclass(cls):
+                assert registry.get(name) is cls
+        assert registry["DataFrame"] is DataFrame
+        assert registry["AckFrame"] is AckFrame
+        assert registry["AcquireReply"] is AcquireReply
+        assert registry["StatusReply"] is StatusReply
+
+
+class TestRegistry:
+    def test_register_is_idempotent(self):
+        assert register_message(TokenMsg) is TokenMsg
+
+    def test_register_rejects_tag_collision(self):
+        @dataclasses.dataclass(frozen=True)
+        class TokenMsg:  # same tag, different class
+            x: int = 0
+
+        with pytest.raises(CodecError, match="already registered"):
+            register_message(TokenMsg)
+
+    def test_register_rejects_non_dataclass(self):
+        with pytest.raises(CodecError, match="not a dataclass"):
+            register_message(object)
+
+    def test_encode_rejects_unregistered_type(self):
+        @dataclasses.dataclass(frozen=True)
+        class Private:
+            x: int = 1
+
+        with pytest.raises(CodecError, match="unregistered"):
+            encode_frame(0, 1, Private())
+
+
+def _read_all(data: bytes):
+    """Feed raw bytes to a fresh reader and read one frame."""
+
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await asyncio.wait_for(read_frame(reader), timeout=1.0)
+
+    return asyncio.run(main())
+
+
+def _frame_with_body(body: bytes) -> bytes:
+    return struct.pack("!I", len(body)) + body
+
+
+class TestAdversarialFrames:
+    def test_truncated_frame_raises_incomplete_not_hang(self):
+        whole = encode_frame(0, 1, GimmeMsg(1, 2, 3, 4, ()))
+        for cut in (1, 3, 5, len(whole) - 1):
+            with pytest.raises(asyncio.IncompleteReadError):
+                _read_all(whole[:cut])
+
+    def test_zero_length_frame(self):
+        with pytest.raises(FrameError, match="zero-length"):
+            _read_all(struct.pack("!I", 0))
+
+    def test_oversized_length_prefix_fails_before_reading_body(self):
+        # The prefix alone exceeds the bound: must fail immediately, not
+        # wait for 4 GiB that will never arrive.
+        with pytest.raises(FrameError, match="exceeds max"):
+            _read_all(struct.pack("!I", MAX_FRAME + 1))
+
+    def test_unsupported_version(self):
+        good = encode_frame(0, 1, GimmeMsg(1, 2, 3, 4, ()))
+        bad = good[:4] + bytes((WIRE_VERSION + 1,)) + good[5:]
+        with pytest.raises(FrameError, match="version"):
+            _read_all(bad)
+
+    def test_garbage_json(self):
+        with pytest.raises(CodecError, match="malformed"):
+            _read_all(_frame_with_body(bytes((WIRE_VERSION,)) + b"{nope"))
+
+    def test_invalid_utf8(self):
+        with pytest.raises(CodecError, match="malformed"):
+            _read_all(_frame_with_body(bytes((WIRE_VERSION,)) + b"\xff\xfe"))
+
+    def test_non_object_body(self):
+        with pytest.raises(CodecError, match="must be an object"):
+            _read_all(_frame_with_body(bytes((WIRE_VERSION,)) + b"[1,2]"))
+
+    def test_missing_envelope_key(self):
+        body = bytes((WIRE_VERSION,)) + b'{"s":0,"d":1}'
+        with pytest.raises(CodecError, match="envelope"):
+            _read_all(_frame_with_body(body))
+
+    def test_non_int_endpoints(self):
+        doc = {"s": "zero", "d": 1,
+               "m": {"t": "LeaveMsg", "f": {"leaver": 0}}}
+        body = bytes((WIRE_VERSION,)) + json.dumps(doc).encode()
+        with pytest.raises(CodecError, match="endpoints"):
+            _read_all(_frame_with_body(body))
+
+    def test_unknown_type_tag(self):
+        doc = {"s": 0, "d": 1, "m": {"t": "EvilMsg", "f": {}}}
+        body = bytes((WIRE_VERSION,)) + json.dumps(doc).encode()
+        with pytest.raises(CodecError, match="unknown message type"):
+            _read_all(_frame_with_body(body))
+
+    def test_wrong_fields_for_known_tag(self):
+        doc = {"s": 0, "d": 1,
+               "m": {"t": "LeaveMsg", "f": {"nonsense": 42}}}
+        body = bytes((WIRE_VERSION,)) + json.dumps(doc).encode()
+        with pytest.raises(CodecError, match="bad fields"):
+            _read_all(_frame_with_body(body))
+
+    def test_unexpected_object_field(self):
+        doc = {"s": 0, "d": 1,
+               "m": {"t": "LeaveMsg", "f": {"leaver": {"sneaky": 1}}}}
+        body = bytes((WIRE_VERSION,)) + json.dumps(doc).encode()
+        with pytest.raises(CodecError, match="unexpected object"):
+            _read_all(_frame_with_body(body))
+
+    def test_oversized_encode_refused(self):
+        msg = GimmeMsg(1, 2, 3, 4, tuple(range(400_000)))
+        with pytest.raises(FrameError, match="max"):
+            encode_frame(0, 1, msg)
+
+
+class TestServerSideRejection:
+    """A hostile client must not hang or crash a live WireTransport."""
+
+    def test_garbage_connection_is_closed_with_typed_error(self):
+        from repro.wire.transport import WireTransport
+
+        async def main():
+            transport = WireTransport(delay=0.0)
+            transport.attach(0)
+            await transport.start()
+            try:
+                port = transport.port_of(0)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                writer.write(_frame_with_body(
+                    bytes((WIRE_VERSION,)) + b"not json at all"))
+                await writer.drain()
+                # The server must close on us promptly.
+                await asyncio.wait_for(reader.read(), timeout=2.0)
+                writer.close()
+                return transport
+            finally:
+                await transport.aclose()
+
+        transport = asyncio.run(main())
+        assert transport.counters.codec_errors == 1
+        assert isinstance(transport.last_wire_error, CodecError)
+
+    def test_oversized_frame_closes_connection(self):
+        from repro.wire.transport import WireTransport
+
+        async def main():
+            transport = WireTransport(delay=0.0)
+            transport.attach(0)
+            await transport.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", transport.port_of(0))
+                writer.write(struct.pack("!I", MAX_FRAME + 1))
+                await writer.drain()
+                await asyncio.wait_for(reader.read(), timeout=2.0)
+                writer.close()
+                return transport
+            finally:
+                await transport.aclose()
+
+        transport = asyncio.run(main())
+        assert transport.counters.codec_errors == 1
+        assert isinstance(transport.last_wire_error, FrameError)

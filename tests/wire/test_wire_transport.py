@@ -1,0 +1,272 @@
+"""WireTransport behavior at the socket layer: fault injection, bounded
+queues, reconnection, and the AioTransport contract over real TCP."""
+
+import asyncio
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.messages import GimmeMsg, TokenMsg
+from repro.errors import WireError
+from repro.wire.codec import register_message
+from repro.wire.transport import WireConfig, WireTransport
+
+
+@register_message
+@dataclass(frozen=True)
+class WirePing:
+    n: int = 0
+    reliable = False
+
+
+async def wait_until(predicate, timeout: float = 10.0, poll: float = 0.005):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() >= deadline:
+            raise AssertionError(f"condition not reached in {timeout}s")
+        await asyncio.sleep(poll)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def token():
+    return TokenMsg(clock=1, round_no=0, served=(), membership=None,
+                    epoch=0, suspects=())
+
+
+class TestDataPath:
+    def test_messages_cross_real_sockets(self):
+        async def main():
+            t = WireTransport(delay=0.001)
+            inbox1 = t.attach(1)
+            t.attach(0)
+            await t.start()
+            try:
+                t.send(0, 1, WirePing(42))
+                src, msg = await asyncio.wait_for(inbox1.get(), timeout=5)
+                assert (src, msg) == (0, WirePing(42))
+                assert t.counters.frames_sent == 1
+                assert t.counters.frames_received == 1
+                assert t.counters.bytes_sent == t.counters.bytes_received > 0
+                assert t.counters.connects == 1
+            finally:
+                await t.aclose()
+
+        run(main())
+
+    def test_artificial_delay_is_honoured(self):
+        async def main():
+            t = WireTransport(delay=0.08)
+            inbox1 = t.attach(1)
+            t.attach(0)
+            await t.start()
+            try:
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                t.send(0, 1, WirePing(1))
+                await asyncio.wait_for(inbox1.get(), timeout=5)
+                assert loop.time() - started >= 0.08
+            finally:
+                await t.aclose()
+
+        run(main())
+
+    def test_one_connection_multiplexes_many_senders(self):
+        async def main():
+            t = WireTransport(delay=0.0)
+            inbox2 = t.attach(2)
+            t.attach(0)
+            t.attach(1)
+            await t.start()
+            try:
+                for src in (0, 1, 0, 1):
+                    t.send(src, 2, WirePing(src))
+                got = []
+                for _ in range(4):
+                    got.append(await asyncio.wait_for(inbox2.get(), timeout=5))
+                assert sorted(src for src, _ in got) == [0, 0, 1, 1]
+                # All four frames rode one outbound connection to node 2.
+                assert t.counters.connects == 1
+            finally:
+                await t.aclose()
+
+        run(main())
+
+    def test_addresses_are_real_endpoints(self):
+        async def main():
+            t = WireTransport()
+            t.attach(0)
+            t.attach(1)
+            await t.start()
+            try:
+                host, port = t.address_of(0)
+                assert host == "127.0.0.1" and port > 0
+                assert t.port_of(0) != t.port_of(1)
+                assert t.port_of(99) is None
+            finally:
+                await t.aclose()
+
+        run(main())
+
+
+class TestFaultInjection:
+    def test_loss_drops_cheap_before_the_socket(self):
+        async def main():
+            t = WireTransport(delay=0.0, loss_rate=0.99,
+                              rng=random.Random(3))
+            t.attach(0)
+            t.attach(1)
+            drops = []
+            t.on_drop.append(lambda s, d, m, reason: drops.append(reason))
+            await t.start()
+            try:
+                # rng=Random(3): the first draw is above 0.01, so this
+                # send is deterministically lost.
+                t.send(0, 1, WirePing(1))
+                await asyncio.sleep(0.05)
+                assert drops == ["loss"]
+                assert t.counters.frames_sent == 0  # never hit a socket
+            finally:
+                await t.aclose()
+
+        run(main())
+
+    def test_partition_parks_reliable_and_flushes_on_heal(self):
+        async def main():
+            t = WireTransport(delay=0.001)
+            inbox1 = t.attach(1)
+            t.attach(0)
+            drops = []
+            t.on_drop.append(lambda s, d, m, reason: drops.append(reason))
+            await t.start()
+            try:
+                t.partition(0, 1)
+                t.send(0, 1, WirePing(5))     # cheap: dropped
+                t.send(0, 1, token())         # expensive: parked
+                await asyncio.sleep(0.05)
+                assert drops == ["partition"]
+                assert inbox1.empty()
+                assert t.counters.frames_sent == 0
+                t.heal_all()
+                src, msg = await asyncio.wait_for(inbox1.get(), timeout=5)
+                assert src == 0 and isinstance(msg, TokenMsg)
+                assert t.counters.frames_sent == 1  # flushed over the wire
+            finally:
+                await t.aclose()
+
+        run(main())
+
+    def test_crashed_destination_drops_after_the_wire(self):
+        async def main():
+            t = WireTransport(delay=0.0)
+            inbox1 = t.attach(1)
+            t.attach(0)
+            drops = []
+            t.on_drop.append(lambda s, d, m, reason: drops.append(reason))
+            await t.start()
+            try:
+                t.crash(1)
+                t.send(0, 1, WirePing(1))
+                await wait_until(lambda: drops)
+                assert drops == ["down"]
+                # The frame genuinely crossed the socket and was discarded
+                # at delivery, exactly like the in-memory transport.
+                assert t.counters.frames_received == 1
+                assert inbox1.empty()
+                t.recover(1)
+                t.send(0, 1, WirePing(2))
+                src, msg = await asyncio.wait_for(inbox1.get(), timeout=5)
+                assert msg == WirePing(2)
+            finally:
+                await t.aclose()
+
+        run(main())
+
+    def test_connection_reset_redials_transparently(self):
+        async def main():
+            t = WireTransport(delay=0.0)
+            inbox1 = t.attach(1)
+            t.attach(0)
+            await t.start()
+            try:
+                t.send(0, 1, WirePing(1))
+                await asyncio.wait_for(inbox1.get(), timeout=5)
+                assert t.counters.connects == 1
+                t.reset_connections()
+                t.send(0, 1, WirePing(2))
+                src, msg = await asyncio.wait_for(inbox1.get(), timeout=5)
+                assert msg == WirePing(2)
+                assert t.counters.connects == 2  # redialed after the reset
+            finally:
+                await t.aclose()
+
+        run(main())
+
+
+class TestBackpressure:
+    def test_full_link_queue_refuses_the_send(self):
+        async def main():
+            t = WireTransport(delay=0.0,
+                              wire_config=WireConfig(max_queue=1))
+            t.attach(0)
+            drops = []
+            t.on_drop.append(lambda s, d, m, reason: drops.append(reason))
+            await t.start()
+            try:
+                # Node 9 has no listener: the link dials forever, the
+                # queue holds one frame, the second send must be refused
+                # (bounded memory) with a typed drop reason.
+                t.send(0, 9, GimmeMsg(0, 1, 1, 0, ()))
+                t.send(0, 9, GimmeMsg(0, 2, 1, 0, ()))
+                await wait_until(lambda: "backpressure" in drops)
+                assert t.counters.backpressure_drops >= 1
+            finally:
+                await t.aclose()
+
+        run(main())
+
+    def test_wire_config_validates(self):
+        with pytest.raises(WireError):
+            WireConfig(max_queue=0)
+        with pytest.raises(WireError):
+            WireConfig(reconnect_base=0.5, reconnect_max=0.1)
+
+
+class TestLateAttach:
+    def test_frames_wait_for_a_late_listener(self):
+        async def main():
+            t = WireTransport(delay=0.0,
+                              wire_config=WireConfig(reconnect_base=0.005))
+            t.attach(0)
+            await t.start()
+            try:
+                t.send(0, 7, token())   # nobody listening yet: link dials
+                await asyncio.sleep(0.03)
+                inbox7 = t.attach(7)    # late joiner binds its server
+                src, msg = await asyncio.wait_for(inbox7.get(), timeout=10)
+                assert src == 0 and isinstance(msg, TokenMsg)
+                assert t.counters.connect_failures >= 0
+            finally:
+                await t.aclose()
+
+        run(main())
+
+    def test_port_stable_across_detach_reattach(self):
+        async def main():
+            t = WireTransport()
+            t.attach(3)
+            await t.start()
+            try:
+                before = t.port_of(3)
+                t.detach(3)
+                t.attach(3)
+                await asyncio.sleep(0.02)
+                assert t.port_of(3) == before  # peers keep their address
+            finally:
+                await t.aclose()
+
+        run(main())
