@@ -31,12 +31,13 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.aio.cluster import AioCluster
-from repro.aio.oracle import AioInvariantOracle
+from repro.aio.oracle import AioInvariantOracle, CorruptionTolerantOracle
 from repro.aio.reliability import ReliabilityConfig
 from repro.aio.supervisor import ClusterSupervisor, RestartPolicy
 from repro.aio.virtualtime import run_virtual
 from repro.core.config import ProtocolConfig
 from repro.errors import ConfigError
+from repro.faults.corruption import CORRUPTION_KINDS, corrupt_core
 from repro.fuzz.rng import child_rng
 
 __all__ = [
@@ -51,9 +52,9 @@ __all__ = [
 
 SCHEMA = "repro-chaos-case/v1"
 
-PROFILES = ("crash", "partition", "mixed")
+PROFILES = ("crash", "partition", "mixed", "corrupt")
 
-_FAULT_OPS = ("crash", "partition", "heal", "heal_all")
+_FAULT_OPS = ("crash", "partition", "heal", "heal_all", "corrupt")
 
 
 @dataclass
@@ -62,6 +63,9 @@ class ChaosCase:
 
     seed: int
     profile: str = "mixed"
+    #: Protocol core under test.  ``corrupt`` faults require the
+    #: stabilizing core — every other core has no convergence story.
+    protocol: str = "fault_tolerant"
     n: int = 5
     delay: float = 0.01
     loss_rate: float = 0.02
@@ -87,6 +91,18 @@ class ChaosCase:
                 raise ConfigError(f"unknown fault op {fault!r}")
             if op == "crash" and not 0 <= fault.get("a", -1) < self.n:
                 raise ConfigError(f"crash targets unknown node {fault!r}")
+            if op == "corrupt":
+                if self.protocol != "stabilizing":
+                    raise ConfigError(
+                        "corrupt faults need protocol='stabilizing' "
+                        f"(got {self.protocol!r}): no other core converges "
+                        "from arbitrary states")
+                if fault.get("what") not in CORRUPTION_KINDS:
+                    raise ConfigError(
+                        f"unknown corruption kind in fault {fault!r}")
+                if not 0 <= fault.get("a", -1) < self.n:
+                    raise ConfigError(
+                        f"corrupt targets unknown node {fault!r}")
         return self
 
     # -- (de)serialization ----------------------------------------------------
@@ -162,12 +178,12 @@ class ChaosResult:
 # Execution
 # ---------------------------------------------------------------------------
 
-def _runtime_config() -> ProtocolConfig:
+def _runtime_config(protocol: str = "fault_tolerant") -> ProtocolConfig:
     """The fault-tolerant stack a chaos run exercises.  Timer fields are
     in message-delay units (the driver scales them by the transport
     delay); ``regen_timeout`` is the *fallback* — once the ring has
     cadence history, the supervisor's phi provider overrides it."""
-    return ProtocolConfig(
+    config = ProtocolConfig(
         trap_gc="rotation",
         single_outstanding=True,
         retry_timeout=25.0,
@@ -176,16 +192,27 @@ def _runtime_config() -> ProtocolConfig:
         loan_timeout=80.0,
         regen_quorum=True,
     )
+    if protocol == "stabilizing":
+        # The watchdog census would race the quorum-gated demand-driven
+        # regeneration; its staggered cadence sits well above it.
+        config.stabilize_watch = 50.0
+        config.stabilize_reset = True
+    return config
 
 
 async def _execute(case: ChaosCase) -> ChaosResult:
+    corrupting = any(f["op"] == "corrupt" for f in case.faults)
     cluster = AioCluster(
-        "fault_tolerant", case.n, seed=case.seed,
-        config=_runtime_config(),
+        case.protocol, case.n, seed=case.seed,
+        config=_runtime_config(case.protocol),
         delay=case.delay, loss_rate=case.loss_rate,
         reliability=ReliabilityConfig(),
+        # The at-rest sanitizer would (rightly) reject the injected
+        # illegal states; convergence is the corrupt run's verdict.
+        sanitize=False if corrupting else None,
     )
-    oracle = AioInvariantOracle(cluster, protocol="fault_tolerant")
+    oracle_cls = CorruptionTolerantOracle if corrupting else AioInvariantOracle
+    oracle = oracle_cls(cluster, protocol=case.protocol)
     oracle.attach()
     supervisor = ClusterSupervisor(cluster, RestartPolicy(
         restart_delay=20.0 * case.delay,
@@ -226,6 +253,9 @@ async def _execute(case: ChaosCase) -> ChaosResult:
             cluster.transport.heal(fault["a"], fault["b"])
         elif op == "heal_all":
             cluster.transport.heal_all()
+        elif op == "corrupt":
+            corrupt_core(cluster.drivers[fault["a"]].core,
+                         fault["what"], int(fault["arg"]), n=case.n)
 
     grants = 0
     waits: List[float] = []
@@ -255,8 +285,38 @@ async def _execute(case: ChaosCase) -> ChaosResult:
               for t, node in case.requests]
     await asyncio.gather(*tasks)
     await asyncio.sleep(10.0 * case.delay)  # drain in-flight traffic
+    if corrupting:
+        # Leave the stabilizing machinery its convergence window, then
+        # demand the single-token predicate at the horizon cut.
+        loop = asyncio.get_running_loop()
+        settle = case.horizon - loop.time()
+        if settle > 0:
+            await asyncio.sleep(settle)
 
     violation: Optional[Dict] = None
+    if corrupting and oracle.violation is None:
+        # Convergence verdict, two halves.  Reduction: at most one token
+        # at rest (the census is blind to in-flight copies, so only > 1
+        # is a breach at the cut).  Liveness: a probe acquire must still
+        # be granted — a deleted-and-never-regenerated token fails here.
+        census = sum(
+            1 for driver in cluster.drivers.values()
+            if getattr(driver.core, "has_token", False)
+            or getattr(driver.core, "lent_to", None) is not None)
+        if census > 1:
+            violation = {
+                "type": "OracleViolation", "invariant": "convergence",
+                "detail": f"{census} tokens at the horizon cut after "
+                          f"corruption (want at most 1 at rest)"}
+        else:
+            try:
+                await cluster.acquire(0, timeout=case.recovery_window)
+                cluster.release(0)
+            except asyncio.TimeoutError:
+                violation = {
+                    "type": "OracleViolation", "invariant": "convergence",
+                    "detail": "post-corruption probe acquire timed out: "
+                              "the token never came back"}
     if oracle.violation is not None:
         exc = oracle.violation
         violation = {"type": "OracleViolation", "invariant": exc.invariant,
@@ -352,11 +412,18 @@ def generate_chaos_case(root_seed: int, index: int,
         faults.extend(_draw_crashes(rng, n))
     if "partition" in mode:
         faults.extend(_draw_partition(rng, n))
+    if mode == "corrupt":
+        for _ in range(rng.randrange(1, 3)):
+            faults.append({"t": round(rng.uniform(1.0, 2.5), 3),
+                           "op": "corrupt", "a": rng.randrange(n),
+                           "what": rng.choice(CORRUPTION_KINDS),
+                           "arg": rng.randrange(1 << 16)})
     faults.sort(key=lambda f: f["t"])
     last_t = max(f["t"] for f in faults)
     case = ChaosCase(
         seed=root_seed + index,
         profile=profile,
+        protocol="stabilizing" if mode == "corrupt" else "fault_tolerant",
         n=n,
         delay=0.01,
         loss_rate=rng.choice((0.0, 0.02, 0.05)),

@@ -549,6 +549,46 @@ def _bench_modelcheck_dpor(rounds: int) -> Dict[str, Any]:
     }
 
 
+def _bench_stabilize_n9(rounds: int) -> Dict[str, Any]:
+    """Convergence time of the stabilizing core (n = 9) under k-token and
+    scrambled-stamp corruption.
+
+    Alternates ``duplicate_token`` (a second token conjured at a rotating
+    victim — the epoch-fenced reduction path) with ``scramble_stamp``
+    (round/grant-sequencing garbage — the local-repair path), one episode
+    per injection, spaced past the convergence bound.  Virtual-time
+    samples are bit-exact across hosts; the checksum pins the episode
+    count and microsecond-rounded percentiles, so a convergence-speed
+    regression fails ``--compare`` loudly.  The reported value is the p99
+    stabilization time in virtual seconds."""
+    from repro.stabilize import measure_convergence
+
+    episodes = max(6, min(rounds // 4, 12))
+    corruptions = [
+        ("duplicate_token" if i % 2 == 0 else "scramble_stamp",
+         (i * 4 + 2) % 9, 101 + i * 37)
+        for i in range(episodes)
+    ]
+    start = time.perf_counter()
+    doc = measure_convergence(9, corruptions, seed=2001)
+    wall = time.perf_counter() - start
+    return {
+        "name": "stabilize_n9",
+        "metric": "stabilization_p99_virtual_seconds",
+        "value": doc["stabilization_p99"],
+        "unit": "s(virtual)",
+        "wall_s": wall,
+        "checksum": {
+            "episodes": doc["episodes"],
+            "injections": doc["injections"],
+            "grants": doc["grants"],
+            "p50_us": round(doc["stabilization_p50"] * 1e6),
+            "p99_us": round(doc["stabilization_p99"] * 1e6),
+            "max_us": round(doc["max_stabilization_time"] * 1e6),
+        },
+    }
+
+
 _BENCHES: List[Callable[[int], Dict[str, Any]]] = [
     _bench_des_throughput,
     _bench_fastsim_throughput,
@@ -562,6 +602,7 @@ _BENCHES: List[Callable[[int], Dict[str, Any]]] = [
     _bench_timer_churn,
     _bench_figure9_cell,
     _bench_aio_recovery,
+    _bench_stabilize_n9,
 ]
 
 

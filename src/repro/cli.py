@@ -17,6 +17,8 @@ Usage (also available as ``python -m repro``):
     python -m repro fabric --keys 256 --expect-checksum <hex>
     python -m repro fuzz [--seed 2001 --runs 50 --profile mixed]
     python -m repro fuzz --replay tests/fuzz/corpus/<case>.json
+    python -m repro stabilize [--seed 2001 --runs 25]
+    python -m repro stabilize --measure 9 [--episodes 20]
     python -m repro chaos [--seed 2001 --runs 20 --profile mixed]
     python -m repro chaos --replay chaos-failures/<case>.json
     python -m repro serve [-n 3 --protocol fault_tolerant --port 7700]
@@ -226,7 +228,8 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--runs", type=int, default=50,
                       help="number of cases to generate and run (default 50)")
     fuzz.add_argument("--profile", default="mixed",
-                      choices=("clean", "faults", "spec", "mixed", "fabric"),
+                      choices=("clean", "faults", "spec", "mixed", "fabric",
+                               "stabilize"),
                       help="case mix (default mixed)")
     fuzz.add_argument("--replay", metavar="FILE", default=None,
                       help="replay one saved case file instead of fuzzing; "
@@ -237,6 +240,26 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--out", metavar="DIR", default="fuzz-failures",
                       help="directory for counterexample files "
                            "(default fuzz-failures/)")
+
+    stab = sub.add_parser(
+        "stabilize",
+        help="self-stabilization harness: corruption fuzzing of the "
+             "stabilizing core with the convergence oracle, or a "
+             "deterministic convergence-time measurement sweep")
+    stab.add_argument("--seed", type=int, default=2001,
+                      help="root seed every case derives from (default 2001)")
+    stab.add_argument("--runs", type=int, default=25,
+                      help="corruption fuzz cases to run (default 25)")
+    stab.add_argument("--no-shrink", dest="shrink", action="store_false",
+                      help="report violations without minimizing them")
+    stab.add_argument("--out", metavar="DIR", default="fuzz-failures",
+                      help="directory for counterexample files "
+                           "(default fuzz-failures/)")
+    stab.add_argument("--measure", type=int, metavar="N", default=None,
+                      help="instead of fuzzing, measure convergence-time "
+                           "percentiles on an N-node ring")
+    stab.add_argument("--episodes", type=int, default=20,
+                      help="corruption episodes for --measure (default 20)")
 
     verify = sub.add_parser(
         "verify",
@@ -279,8 +302,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="number of scenarios to generate and run "
                             "(default 20)")
     chaos.add_argument("--profile", default="mixed",
-                       choices=("crash", "partition", "mixed"),
-                       help="fault mix (default mixed)")
+                       choices=("crash", "partition", "mixed", "corrupt"),
+                       help="fault mix (default mixed; corrupt injects "
+                            "arbitrary-state corruption on the "
+                            "stabilizing protocol)")
     chaos.add_argument("--replay", metavar="FILE", default=None,
                        help="replay one saved scenario file instead; exits "
                             "nonzero unless the recorded outcome reproduces "
@@ -862,6 +887,63 @@ def _cmd_fuzz(args) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_stabilize(args) -> int:
+    import os
+
+    from repro.fuzz import fuzz_run, shrink
+
+    if args.measure is not None:
+        from repro.faults.corruption import CORRUPTION_KINDS
+        from repro.stabilize import measure_convergence
+
+        n = args.measure
+        corruptions = [
+            (CORRUPTION_KINDS[i % len(CORRUPTION_KINDS)],
+             (i * 3 + 1) % n, args.seed + i * 17)
+            for i in range(args.episodes)
+        ]
+        doc = measure_convergence(n, corruptions, seed=args.seed)
+        print(f"stabilize measure: n={n} episodes={doc['episodes']} "
+              f"bound={doc['bound']:.1f}")
+        print(f"  stabilization_time p50={doc['stabilization_p50']:.2f} "
+              f"p99={doc['stabilization_p99']:.2f} "
+              f"max={doc['max_stabilization_time']:.2f} "
+              f"grants={doc['grants']}")
+        return 0
+
+    failures = []
+
+    def _capture(index, case, result):
+        if result.ok:
+            stab = result.stabilization or {}
+            print(f"  run {index:3d} {case.label:20s} ok  "
+                  f"episodes={stab.get('episodes', 0):.0f} "
+                  f"stabilization_p99={stab.get('stabilization_p99', 0):.2f}")
+            return
+        print(f"  run {index:3d} {case.label:20s} VIOLATION "
+              f"{result.violation.get('invariant')}")
+        final_case, final_result = case, result
+        if args.shrink:
+            final_case, final_result, attempts = shrink(case, result)
+            print(f"    shrunk to {final_case.event_count()} schedule "
+                  f"events (n={final_case.n}) in {attempts} attempts")
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"stabilize-{args.seed}-{index}.json")
+        final_case.save(path, outcome=final_result.outcome())
+        failures.append((index, final_result.violation, path))
+        print(f"    counterexample written to {path}")
+
+    print(f"stabilize: seed={args.seed} runs={args.runs}")
+    summaries = fuzz_run(args.seed, args.runs, "stabilize",
+                         on_result=_capture)
+    ok = sum(1 for s in summaries if s["ok"])
+    print(f"{ok}/{len(summaries)} runs converged")
+    for index, violation, path in failures:
+        print(f"  run {index}: {violation.get('invariant')} -> {path}",
+              file=sys.stderr)
+    return 0 if not failures else 1
+
+
 def _cmd_verify(args) -> int:
     import json as _json
 
@@ -1141,6 +1223,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "fabric": _cmd_fabric,
     "fuzz": _cmd_fuzz,
+    "stabilize": _cmd_stabilize,
     "verify": _cmd_verify,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,

@@ -44,6 +44,7 @@ def _registry() -> Dict[str, CoreFactory]:
     from repro.core.ring import RingCore
     from repro.core.search import LinearSearchCore
     from repro.faults.regeneration import FaultTolerantCore
+    from repro.stabilize.core import StabilizingCore
 
     return {
         "ring": RingCore,
@@ -53,6 +54,7 @@ def _registry() -> Dict[str, CoreFactory]:
         "push": PushCore,
         "hybrid": HybridCore,
         "fault_tolerant": FaultTolerantCore,
+        "stabilizing": StabilizingCore,
     }
 
 

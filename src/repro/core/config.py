@@ -65,6 +65,18 @@ class ProtocolConfig:
       the ring.  A minority partition parks (keeps probing) instead of
       minting a token that epoch fencing would have to retire on heal.
       Off by default to preserve the paper's plain Section 5 behaviour.
+    - ``stabilize_watch`` — StabilizingCore's self-stabilization watchdog
+      period: every node, holder or not, re-censuses the ring on this
+      cadence and mints a fenced replacement token after two consecutive
+      censuses that show neither a live token nor progress.  0 disables
+      the watchdog (the core still absorbs duplicates and repairs local
+      state on every event).
+    - ``stabilize_reset`` — allow the reloading-wave-style full reset of a
+      node's volatile bookkeeping (queues, traps, memos) when local repair
+      finds it inconsistent; off limits repair to field clamping.
+    - ``stabilize_bound`` — convergence-time bound the ConvergenceOracle
+      enforces after an injected corruption, in virtual seconds.  0 lets
+      the harness derive a bound from the ring size and timer settings.
     """
 
     n: int = 0
@@ -82,6 +94,9 @@ class ProtocolConfig:
     census_window: float = 5.0
     loan_timeout: float = 0.0
     regen_quorum: bool = False
+    stabilize_watch: float = 0.0
+    stabilize_reset: bool = True
+    stabilize_bound: float = 0.0
 
     def validate(self) -> "ProtocolConfig":
         """Check field consistency; return self for chaining."""
@@ -107,4 +122,8 @@ class ProtocolConfig:
             raise ConfigError("census_window must be positive")
         if self.loan_timeout < 0:
             raise ConfigError("loan_timeout must be >= 0")
+        if self.stabilize_watch < 0:
+            raise ConfigError("stabilize_watch must be >= 0")
+        if self.stabilize_bound < 0:
+            raise ConfigError("stabilize_bound must be >= 0")
         return self

@@ -56,6 +56,19 @@ class ConfigError(ReproError):
     """Invalid protocol, workload, or experiment configuration."""
 
 
+class FuzzCaseError(ConfigError):
+    """A fuzz case file or dict is malformed.
+
+    Subclasses :class:`ConfigError` so existing callers keep working;
+    carries the offending fault ``kind`` (when the problem is an unknown
+    or incomplete fault entry) so error messages and tests can name it
+    instead of surfacing a bare ``KeyError`` deep in the runner."""
+
+    def __init__(self, message: str, kind: object = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
 class ExperimentCellError(ReproError):
     """One cell of a parallel experiment sweep failed.
 

@@ -76,6 +76,12 @@ def _skip_reason(case: FuzzCase) -> Optional[str]:
     """
     if case.kind != "impl":
         return "spec-level case (random reduction, no DES run)"
+    if case.protocol == "stabilizing":
+        return ("stabilizing core (watchdog censuses + absorption) has no "
+                "array compilation")
+    if any(f.get("op") == "corrupt" for f in case.faults):
+        return ("arbitrary-state corruption mutates core objects; the "
+                "array fast path has no object state to corrupt")
     if case.faults:
         return "fault plan needs the object driver stack"
     try:

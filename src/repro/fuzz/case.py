@@ -21,7 +21,8 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FuzzCaseError
+from repro.faults.corruption import CORRUPTION_KINDS
 from repro.fuzz.rng import child_rng
 from repro.sim.network import (
     ConstantDelay,
@@ -57,11 +58,38 @@ IMPL_PROTOCOLS = (
 SPEC_SYSTEMS = ("S", "S1", "Tok", "MP", "Srch", "BS")
 
 #: profile -> what the generator draws.  ``mixed`` alternates per index
-#: (it predates the fabric kind and deliberately excludes it: adding a
-#: fifth mode would reshuffle every pinned mixed-profile case).
-PROFILES = ("clean", "faults", "spec", "mixed", "fabric")
+#: (it predates the fabric and stabilize kinds and deliberately excludes
+#: them: adding a mode to the rotation would reshuffle every pinned
+#: mixed-profile case).
+PROFILES = ("clean", "faults", "spec", "mixed", "fabric", "stabilize")
 
-_FAULT_OPS = ("crash", "recover", "token_loss", "partition", "heal")
+_FAULT_OPS = ("crash", "recover", "token_loss", "partition", "heal",
+              "corrupt")
+
+#: Protocols accepted by validation: every fuzz-eligible core plus the
+#: stabilizing variant, which is replayable but excluded from
+#: IMPL_PROTOCOLS so random clean/faults draws stay pinned.
+_VALID_PROTOCOLS = IMPL_PROTOCOLS + ("stabilizing",)
+
+
+def _check_fault(fault: Dict, n: int) -> None:
+    """Validate one impl-level fault entry; raise FuzzCaseError naming
+    the offending kind instead of letting the runner hit a KeyError."""
+    op = fault.get("op")
+    if op not in _FAULT_OPS:
+        raise FuzzCaseError(f"unknown fault op {op!r} in fault {fault!r}; "
+                            f"known ops: {_FAULT_OPS}", kind=op)
+    if op == "corrupt":
+        what = fault.get("what")
+        if what not in CORRUPTION_KINDS:
+            raise FuzzCaseError(
+                f"unknown corruption kind {what!r} in fault {fault!r}; "
+                f"known kinds: {CORRUPTION_KINDS}", kind=what)
+        victim = fault.get("a")
+        if not isinstance(victim, int) or not 0 <= victim < n:
+            raise FuzzCaseError(
+                f"corrupt fault needs a victim node 'a' in [0, {n}), "
+                f"got {fault!r}", kind=op)
 
 
 @dataclass
@@ -118,19 +146,25 @@ class FuzzCase:
                     raise ConfigError(f"keyed request names key {k} "
                                       f"of {n_keys}")
             for fault in self.faults:
-                if fault.get("op") not in _FAULT_OPS:
-                    raise ConfigError(f"unknown fault op {fault!r}")
-                if not 0 <= fault.get("k", 0) < n_keys:
-                    raise ConfigError(f"fault names key {fault.get('k')} "
-                                      f"of {n_keys}")
+                op = fault.get("op")
+                if op not in _FAULT_OPS or op == "corrupt":
+                    raise FuzzCaseError(
+                        f"unknown fabric fault op {op!r} in fault "
+                        f"{fault!r}", kind=op)
+                if "k" not in fault:
+                    raise FuzzCaseError(
+                        f"fabric fault {fault!r} is missing its lane "
+                        f"index 'k'", kind=op)
+                if not 0 <= fault["k"] < n_keys:
+                    raise FuzzCaseError(f"fault names key {fault['k']} "
+                                        f"of {n_keys}", kind=op)
         elif self.kind == "impl":
-            if self.protocol not in IMPL_PROTOCOLS:
+            if self.protocol not in _VALID_PROTOCOLS:
                 raise ConfigError(f"unknown protocol {self.protocol!r}")
             if self.n < 1:
                 raise ConfigError(f"n must be >= 1, got {self.n}")
             for fault in self.faults:
-                if fault.get("op") not in _FAULT_OPS:
-                    raise ConfigError(f"unknown fault op {fault!r}")
+                _check_fault(fault, self.n)
         else:
             if self.system not in SPEC_SYSTEMS:
                 raise ConfigError(f"unknown spec system {self.system!r}")
@@ -330,6 +364,54 @@ def _generate_fabric_case(root_seed: int, index: int, rng) -> FuzzCase:
     ).validate()
 
 
+def _generate_stabilize_case(root_seed: int, index: int, rng) -> FuzzCase:
+    """A stabilizing-core run seeded with arbitrary-state corruption.
+
+    Corruptions all land in the first 40% of the horizon so every case
+    leaves the stabilizing machinery well over the convergence bound of
+    virtual time to settle; delays stay *bounded* (constant/uniform, no
+    exponential tail) because the watchdog's no-progress mint is only
+    sound under bounded delays; loss/duplication stay off so the only
+    illegal states are the injected ones (the convergence verdict is
+    then unconditional)."""
+    n = rng.choice((3, 5, 7, 9))
+    horizon = rng.choice((800.0, 1200.0))
+    if rng.random() < 0.5:
+        delay: Dict = {"kind": "constant", "delay": rng.choice((0.5, 1.0))}
+    else:
+        delay = {"kind": "uniform", "low": 0.5, "high": 2.0}
+    config: Dict = {
+        "trap_gc": rng.choice(("rotation", "inverse")),
+        "regen_timeout": rng.choice((30.0, 50.0)),
+        "census_window": 5.0,
+        "loan_timeout": 30.0,
+        "stabilize_watch": rng.choice((15.0, 25.0)),
+        "stabilize_reset": rng.random() < 0.7,
+    }
+    faults: List[Dict] = [
+        {"t": round(rng.uniform(10.0, horizon * 0.4), 3),
+         "op": "corrupt",
+         "a": rng.randrange(n),
+         "what": rng.choice(CORRUPTION_KINDS),
+         "arg": rng.randrange(1 << 16)}
+        for _ in range(rng.randrange(1, 5))
+    ]
+    faults.sort(key=lambda f: f["t"])
+    return FuzzCase(
+        seed=root_seed + index,
+        kind="impl",
+        protocol="stabilizing",
+        n=n,
+        delay=delay,
+        config=config,
+        requests=_draw_requests(rng, n, horizon, rng.randrange(3, 12)),
+        faults=faults,
+        max_events=40_000,
+        horizon=horizon,
+        label=f"stabilize/n{n}",
+    ).validate()
+
+
 def generate_case(root_seed: int, index: int, profile: str = "mixed") -> FuzzCase:
     """Derive the ``index``-th case of a run from the root seed."""
     if profile not in PROFILES:
@@ -341,6 +423,9 @@ def generate_case(root_seed: int, index: int, profile: str = "mixed") -> FuzzCas
 
     if mode == "fabric":
         return _generate_fabric_case(root_seed, index, rng)
+
+    if mode == "stabilize":
+        return _generate_stabilize_case(root_seed, index, rng)
 
     if mode == "spec":
         system = rng.choice(SPEC_SYSTEMS)

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.cluster import Cluster
 from repro.core.config import ProtocolConfig
 from repro.errors import ProtocolError, SimulationError
+from repro.faults.corruption import corrupt_core
 from repro.fuzz.case import FuzzCase, build_delay, generate_case
 from repro.fuzz.oracle import InvariantOracle, OracleViolation, check_spec_reduction
 from repro.fuzz.rng import derive_seed
@@ -44,6 +45,9 @@ class FuzzResult:
     sends: int = 0
     violation: Optional[Dict] = None
     trace_tail: List[Dict] = field(default_factory=list)
+    #: Convergence-oracle metrics (stabilize runs only): episodes,
+    #: stabilization_time, stabilization_p99, injections, bound.
+    stabilization: Optional[Dict] = None
 
     def outcome(self) -> Dict:
         """The stable portion recorded in corpus files."""
@@ -51,6 +55,8 @@ class FuzzResult:
                      "events": self.events}
         if self.violation is not None:
             doc["invariant"] = self.violation.get("invariant")
+        if self.stabilization is not None:
+            doc["episodes"] = self.stabilization.get("episodes")
         return doc
 
     def matches(self, recorded: Dict) -> bool:
@@ -94,25 +100,59 @@ class _TokenLossInjector:
 
 
 def _schedule_faults(cluster: Cluster, case: FuzzCase,
-                     injector: _TokenLossInjector) -> None:
+                     injector: _TokenLossInjector,
+                     oracle: Optional[InvariantOracle] = None) -> None:
+    """Schedule the case's fault plan.  When ``oracle`` is a
+    :class:`~repro.stabilize.oracle.ConvergenceOracle`, every fault also
+    opens a stabilization episode — crashes and token losses create
+    legitimate transient illegitimacy just like corruption does."""
+    inject = getattr(oracle, "inject", None)
+
+    def _wrap(action: Callable, *args) -> Callable:
+        if inject is None:
+            return lambda: action(*args)
+
+        def fire() -> None:
+            action(*args)
+            inject(cluster.sim.now)
+        return fire
+
     for fault in case.faults:
         t, op = float(fault["t"]), fault["op"]
         if op == "crash":
-            cluster.sim.schedule_at(t, cluster.drivers[fault["a"]].crash)
+            cluster.sim.schedule_at(
+                t, _wrap(cluster.drivers[fault["a"]].crash))
         elif op == "recover":
-            cluster.sim.schedule_at(t, cluster.drivers[fault["a"]].recover)
+            cluster.sim.schedule_at(
+                t, _wrap(cluster.drivers[fault["a"]].recover))
         elif op == "token_loss":
-            cluster.sim.schedule_at(t, injector.arm)
+            cluster.sim.schedule_at(t, _wrap(injector.arm))
         elif op == "partition":
             cluster.sim.schedule_at(
-                t, cluster.network.partition, fault["a"], fault["b"])
+                t, _wrap(cluster.network.partition, fault["a"], fault["b"]))
         elif op == "heal":
             cluster.sim.schedule_at(
-                t, cluster.network.heal, fault["a"], fault["b"])
+                t, _wrap(cluster.network.heal, fault["a"], fault["b"]))
+        elif op == "corrupt":
+            core = cluster.drivers[fault["a"]].core
+            cluster.sim.schedule_at(
+                t, _wrap(corrupt_core, core, fault["what"],
+                         int(fault["arg"]), case.n))
 
 
 def _run_impl(case: FuzzCase) -> FuzzResult:
     config = ProtocolConfig(**case.config)
+    # A stabilize run = the stabilizing core, or any case that injects
+    # arbitrary-state corruption.  The transition sanitizer and the
+    # standard oracle both presume legal histories, so they are swapped
+    # for the convergence verdict (closure + bounded convergence).
+    stab = case.protocol == "stabilizing" or any(
+        f.get("op") == "corrupt" for f in case.faults)
+    if stab:
+        # Imported lazily: repro.stabilize.oracle imports repro.fuzz.oracle,
+        # and this module is pulled in by the repro.fuzz package init.
+        from repro.stabilize.bound import convergence_bound, delay_ceiling
+        from repro.stabilize.oracle import ConvergenceOracle
     cluster = Cluster.build(
         case.protocol, case.n,
         seed=derive_seed(case.seed, "net"),
@@ -120,11 +160,17 @@ def _run_impl(case: FuzzCase) -> FuzzResult:
         delay=build_delay(case.delay),
         loss_rate=case.loss_rate,
         dup_rate=case.dup_rate,
-        sanitize=True,
+        sanitize=not stab,
     )
-    # Fault-free schedules cannot destroy the token: demand exactly one.
-    oracle = InvariantOracle(cluster, protocol=case.protocol,
-                             strict=not case.faults)
+    if stab:
+        oracle: InvariantOracle = ConvergenceOracle(
+            cluster, protocol=case.protocol,
+            bound=convergence_bound(config, case.n,
+                                    delay_ceiling(case.delay)))
+    else:
+        # Fault-free schedules cannot destroy the token: demand exactly one.
+        oracle = InvariantOracle(cluster, protocol=case.protocol,
+                                 strict=not case.faults)
     oracle.attach()
     injector = _TokenLossInjector()
     oracle.drop_token = injector
@@ -142,11 +188,14 @@ def _run_impl(case: FuzzCase) -> FuzzResult:
     cluster.network.on_send.append(_digest)
     for time, node in case.requests:
         cluster.sim.schedule_at(time, cluster.request, node)
-    _schedule_faults(cluster, case, injector)
+    _schedule_faults(cluster, case, injector,
+                     oracle=oracle if stab else None)
 
     violation: Optional[Dict] = None
     try:
         cluster.run(until=case.horizon, max_events=case.max_events)
+        if stab:
+            oracle.finalize(cluster.sim.now)  # type: ignore[attr-defined]
     except _VIOLATIONS as exc:
         violation = _violation_dict(exc)
     return FuzzResult(
@@ -157,6 +206,8 @@ def _run_impl(case: FuzzCase) -> FuzzResult:
         sends=sends,
         violation=violation,
         trace_tail=trace.tail() if violation is not None else [],
+        stabilization=(oracle.stabilization()  # type: ignore[attr-defined]
+                       if stab else None),
     )
 
 

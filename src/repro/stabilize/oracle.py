@@ -1,0 +1,156 @@
+"""The convergence oracle: closure + bounded convergence checking.
+
+The plain :class:`~repro.fuzz.oracle.InvariantOracle` proves *safety
+from legal states*: its shadow history, hop-clock, and conservation
+checks assume the run started legitimately and flag the first deviation.
+Under arbitrary-state corruption every one of those checks would fire
+instantly and tell us nothing — the interesting property is no longer
+"nothing illegal ever happens" but Dijkstra's pair:
+
+- **convergence** — from any injected state, the cluster re-enters the
+  legitimate-state predicate within a bounded stabilization time;
+- **closure** — once legitimate (and absent further injections), it
+  stays legitimate forever.
+
+:class:`ConvergenceOracle` reuses the parent's token-unit census (the
+per-epoch holder/borrower/in-flight bookkeeping and its delivery-time
+interception) but replaces the verdict: the **legitimate-state
+predicate** is *exactly one token unit in the whole system, across all
+epochs* — one holder, or one borrower, or one lineage message in
+flight.  Anything else (zero units, or k > 1 in any combination) is
+illegitimate, and the oracle tracks how long illegitimacy persists
+after the most recent injection.
+
+Episode protocol: the run starts with an implicit injection at t=0 (the
+initial state is just another arbitrary state); every fault the harness
+applies calls :meth:`inject`.  An episode *closes* once the bound has
+elapsed with the predicate holding; the interval from injection to the
+last entry into legitimacy is the ``stabilization_time`` sample.  After
+an episode closes, any illegitimacy before the next injection is a
+**closure** violation; illegitimacy persisting past the bound is a
+**convergence** violation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.cluster import Cluster
+from repro.core.messages import GimmeMsg, TokenMsg
+from repro.fuzz.oracle import InvariantOracle
+from repro.metrics.tracing import StabilizationTracker
+
+__all__ = ["ConvergenceOracle"]
+
+
+class ConvergenceOracle(InvariantOracle):
+    """Closure/convergence verdict over the token-unit census."""
+
+    def __init__(self, cluster: Cluster, protocol: str = "stabilizing",
+                 bound: float = 0.0) -> None:
+        super().__init__(cluster, protocol=protocol, strict=False)
+        self.bound = bound
+        self.tracker = StabilizationTracker()
+        self.injections = 0
+        #: Time of the injection whose episode is still open (t=0: the
+        #: arbitrary initial state counts as the first injection).
+        self._pending: Optional[float] = 0.0
+        #: Start of the current unbroken stretch of legitimacy.
+        self._legit_since: Optional[float] = None
+        #: True once at least one episode has closed (closure armed).
+        self._settled = False
+
+    # -- injections -----------------------------------------------------------
+
+    def inject(self, now: float) -> None:
+        """A fault (corruption or classic) was just applied: (re)open the
+        episode and resync the shadow state the mutation invalidated."""
+        self.injections += 1
+        self._pending = now
+        self._legit_since = None
+        for node, driver in self.cluster.drivers.items():
+            last = getattr(driver.core, "last_visit", None)
+            if last is not None:
+                self._seen[node] = last
+        self._observe(now)
+
+    # -- neutralized parent checks --------------------------------------------
+    #
+    # Send-side semantic checks (shadow divergence, hop clocks, search
+    # stamps/directions) presume legal history; corrupted state violates
+    # them by construction, so they carry no signal here.  The lineage
+    # *counting* in _on_send/_deliver is kept — the unit census needs it.
+
+    def _check_token_send(self, src: int, dst: int, msg: TokenMsg) -> None:
+        return
+
+    def _check_gimme_send(self, src: int, dst: int, msg: GimmeMsg) -> None:
+        return
+
+    # -- the verdict ----------------------------------------------------------
+
+    def _unit_total(self) -> int:
+        units = self._units()
+        return sum(len(owners) for owners in units.values())
+
+    def _check_conservation(self) -> None:
+        self.checks += 1
+        self._observe(self.cluster.sim.now)
+
+    def _observe(self, now: float) -> None:
+        total = self._unit_total()
+        legitimate = total == 1
+        if self._pending is not None:
+            if legitimate:
+                if self._legit_since is None:
+                    self._legit_since = now
+                if now - self._pending >= self.bound:
+                    # Converged and held for the whole bound: close.
+                    self.tracker.record(self._pending, self._legit_since)
+                    self._pending = None
+                    self._settled = True
+            else:
+                self._legit_since = None
+                if now - self._pending > self.bound:
+                    self._fail(
+                        "convergence",
+                        f"{total} token units "
+                        f"{now - self._pending:.1f} after the last "
+                        f"injection (bound {self.bound:.1f}): the cluster "
+                        f"failed to stabilize",
+                        units=self._units(), total=total,
+                        injected_at=self._pending,
+                    )
+        elif not legitimate:
+            self._fail(
+                "closure",
+                f"left the legitimate predicate after stabilizing: "
+                f"{total} token units with no injection pending",
+                units=self._units(), total=total,
+            )
+
+    def finalize(self, now: float) -> None:
+        """End-of-run verdict: an open episode must be legitimate (the
+        harness guarantees every injection leaves at least ``bound`` of
+        horizon, so illegitimacy here is a genuine failure)."""
+        if self._pending is None:
+            return
+        total = self._unit_total()
+        if total != 1:
+            self._fail(
+                "convergence",
+                f"run ended {now - self._pending:.1f} after the last "
+                f"injection with {total} token units",
+                units=self._units(), total=total,
+                injected_at=self._pending,
+            )
+        self.tracker.record(self._pending, self._legit_since)
+        self._pending = None
+        self._settled = True
+
+    def stabilization(self) -> Dict[str, float]:
+        """The ``stabilization_time`` metric block for reports."""
+        doc = self.tracker.summary()
+        doc["injections"] = float(self.injections)
+        doc["bound"] = self.bound
+        return doc

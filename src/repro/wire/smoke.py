@@ -27,7 +27,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.aio.cluster import AioCluster
-from repro.aio.oracle import AioInvariantOracle
+from repro.aio.oracle import AioInvariantOracle, CorruptionTolerantOracle
 from repro.aio.reliability import ReliabilityConfig
 from repro.aio.supervisor import ClusterSupervisor, RestartPolicy
 from repro.core.config import ProtocolConfig
@@ -40,16 +40,16 @@ __all__ = ["SCHEMA", "FAULT_OPS", "service_config", "run_wire_smoke"]
 
 SCHEMA = "repro-wire-smoke/v1"
 
-FAULT_OPS = ("crash", "partition", "heal", "heal_all", "reset")
+FAULT_OPS = ("crash", "partition", "heal", "heal_all", "reset", "corrupt")
 
 
 def service_config(protocol: str) -> ProtocolConfig:
     """The protocol stack a wire service runs.  For ``fault_tolerant``
-    this mirrors the chaos harness: rotation trap GC, quorum-gated
-    regeneration, timers in message-delay units that the driver scales by
-    the transport delay."""
-    if protocol == "fault_tolerant":
-        return ProtocolConfig(
+    (and the stabilizing core on top of it) this mirrors the chaos
+    harness: rotation trap GC, quorum-gated regeneration, timers in
+    message-delay units that the driver scales by the transport delay."""
+    if protocol in ("fault_tolerant", "stabilizing"):
+        config = ProtocolConfig(
             trap_gc="rotation",
             single_outstanding=True,
             retry_timeout=25.0,
@@ -58,16 +58,33 @@ def service_config(protocol: str) -> ProtocolConfig:
             loan_timeout=80.0,
             regen_quorum=True,
         )
+        if protocol == "stabilizing":
+            config.stabilize_watch = 50.0
+        return config
     return ProtocolConfig()
 
 
-def _validate_faults(faults: List[Dict], n: int) -> None:
+def _validate_faults(faults: List[Dict], n: int,
+                     protocol: str = "fault_tolerant") -> None:
+    from repro.faults.corruption import CORRUPTION_KINDS
+
     for fault in faults:
         op = fault.get("op")
         if op not in FAULT_OPS:
             raise ConfigError(f"unknown wire fault op {fault!r}")
         if op == "crash" and not 0 <= fault.get("a", -1) < n:
             raise ConfigError(f"crash targets unknown node {fault!r}")
+        if op == "corrupt":
+            if protocol != "stabilizing":
+                raise ConfigError(
+                    "corrupt wire faults need protocol='stabilizing' "
+                    f"(got {protocol!r})")
+            if fault.get("what") not in CORRUPTION_KINDS:
+                raise ConfigError(
+                    f"unknown corruption kind in wire fault {fault!r}")
+            if not 0 <= fault.get("a", -1) < n:
+                raise ConfigError(
+                    f"corrupt targets unknown node {fault!r}")
 
 
 async def _run(
@@ -88,6 +105,7 @@ async def _run(
 ) -> Dict[str, Any]:
     import random
 
+    corrupting = any(f["op"] == "corrupt" for f in faults)
     transport = WireTransport(
         delay=delay, loss_rate=loss_rate,
         rng=random.Random(seed ^ 0x5EED))
@@ -96,8 +114,12 @@ async def _run(
         config=service_config(protocol),
         transport=transport,
         reliability=ReliabilityConfig() if reliability else None,
+        # Injected illegal states would (rightly) trip the at-rest
+        # sanitizer; a corruption run's verdict is convergence instead.
+        sanitize=False if corrupting else None,
     )
-    oracle = AioInvariantOracle(cluster, protocol=protocol)
+    oracle_cls = CorruptionTolerantOracle if corrupting else AioInvariantOracle
+    oracle = oracle_cls(cluster, protocol=protocol)
     oracle.attach()
     supervisor: Optional[ClusterSupervisor] = None
     if supervise:
@@ -124,6 +146,11 @@ async def _run(
             transport.heal_all()
         elif op == "reset":
             transport.reset_connections(fault.get("a"))
+        elif op == "corrupt":
+            from repro.faults.corruption import corrupt_core
+
+            corrupt_core(cluster.drivers[fault["a"]].core,
+                         fault["what"], int(fault.get("arg", 0)), n=n)
 
     generator = LoadGenerator("127.0.0.1", server.port, seed=seed,
                               acquire_timeout=acquire_timeout)
@@ -147,9 +174,20 @@ async def _run(
         exc = oracle.violation
         violation = {"invariant": exc.invariant, "detail": exc.detail}
 
+    converged: Optional[bool] = None
+    if corrupting:
+        # Convergence fold: at most one token at rest at teardown (the
+        # census is blind to in-flight copies, so only > 1 is a breach);
+        # liveness is already proven by every op having been granted.
+        census = sum(
+            1 for driver in cluster.drivers.values()
+            if getattr(driver.core, "has_token", False)
+            or getattr(driver.core, "lent_to", None) is not None)
+        converged = census <= 1
+
     p99_ok = load.wait_p99 <= p99_budget
     ok = (violation is None and load.errors == 0 and load.failures == 0
-          and load.grants == ops and p99_ok)
+          and load.grants == ops and p99_ok and converged is not False)
     report: Dict[str, Any] = {
         "schema": SCHEMA,
         "ok": ok,
@@ -166,6 +204,7 @@ async def _run(
         "load": load.as_dict(),
         "p99_budget_s": p99_budget,
         "p99_ok": p99_ok,
+        "converged": converged,
         "oracle_violation": violation,
         "server": {
             "grants": server.grants,
@@ -214,7 +253,7 @@ def run_wire_smoke(
     if ops < 1:
         raise ConfigError(f"ops must be >= 1, got {ops}")
     fault_list = list(faults) if faults else []
-    _validate_faults(fault_list, n)
+    _validate_faults(fault_list, n, protocol)
     return asyncio.run(_run(
         n=n, ops=ops, clients=clients, protocol=protocol, seed=seed,
         delay=delay, loss_rate=loss_rate, think_time=think_time,

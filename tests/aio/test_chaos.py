@@ -138,7 +138,7 @@ class TestCaseSchema:
             scenario(faults=[{"t": 1.0, "op": "crash", "a": 99}])
 
     def test_unknown_profile_rejected(self):
-        assert PROFILES == ("crash", "partition", "mixed")
+        assert PROFILES == ("crash", "partition", "mixed", "corrupt")
         with pytest.raises(ConfigError):
             generate_chaos_case(0, 0, "volcanic")
 

@@ -1,0 +1,75 @@
+"""Satellite: corruption injection at every quiescent point of the
+committed corpus.  Each impl-level corpus case is replayed on the
+stabilizing core with one corruption appended at each scheduled event
+time (the quiescent points an adversary can observe); every replay must
+converge under the convergence oracle."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.faults.corruption import CORRUPTION_KINDS
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.runner import run_case
+from repro.stabilize.bound import convergence_bound, delay_ceiling
+
+CORPUS = Path(__file__).resolve().parent.parent / "fuzz" / "corpus"
+
+
+def quiescent_points(case: FuzzCase):
+    """The externally observable schedule: request and fault times."""
+    times = {t for t, _node in case.requests}
+    times.update(f["t"] for f in case.faults)
+    return sorted(times)
+
+
+def stabilized_variant(case: FuzzCase, point_index: int, t: float):
+    """The corpus case re-targeted at the stabilizing core, with one
+    corruption dropped just after quiescent point ``t``."""
+    ceiling = delay_ceiling(case.delay)
+    config = dict(case.config)
+    # The watchdog's soundness needs its period comfortably above the
+    # delay ceiling (partial synchrony); corpus delays vary per case.
+    config["stabilize_watch"] = max(25.0, 4.0 * ceiling)
+    config.setdefault("loan_timeout", 30.0)
+    config.setdefault("regen_timeout", 40.0)
+    corruption = {
+        "t": round(t + 0.5, 3),
+        "op": "corrupt",
+        "a": (point_index * 2 + 1) % case.n,
+        "what": CORRUPTION_KINDS[point_index % len(CORRUPTION_KINDS)],
+        "arg": 1000 + point_index * 13,
+    }
+    bound = convergence_bound(ProtocolConfig(**config), case.n, ceiling)
+    return case.with_(
+        protocol="stabilizing",
+        config=config,
+        faults=case.faults + [corruption],
+        horizon=max(case.horizon, corruption["t"] + 1.5 * bound),
+        label=f"{case.label or 'corpus'}+corrupt@{corruption['t']}",
+    ).validate()
+
+
+def impl_cases():
+    for path in sorted(CORPUS.glob("*.json")):
+        case, _outcome = FuzzCase.load(str(path))
+        if case.kind == "impl":
+            yield path.stem, case
+
+
+@pytest.mark.parametrize("name,case", list(impl_cases()),
+                         ids=lambda v: v if isinstance(v, str) else "")
+def test_corpus_case_converges_from_every_quiescent_point(name, case):
+    points = quiescent_points(case)
+    assert points, f"corpus case {name} has no schedule to perturb"
+    failures = []
+    for index, t in enumerate(points):
+        variant = stabilized_variant(case, index, t)
+        result = run_case(variant)
+        if not result.ok:
+            failures.append((t, variant.faults[-1]["what"],
+                             result.violation))
+        else:
+            assert result.stabilization["injections"] >= 1
+    assert not failures, failures

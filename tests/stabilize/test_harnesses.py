@@ -1,0 +1,72 @@
+"""Corruption across the real-time surfaces: the asyncio chaos harness's
+``corrupt`` profile and the wire smoke's fault validation."""
+
+import pytest
+
+from repro.aio.chaos import ChaosCase, generate_chaos_case, run_chaos_case
+from repro.errors import ConfigError
+from repro.wire.smoke import _validate_faults
+
+
+class TestChaosCorrupt:
+    def test_generated_corrupt_case_targets_the_stabilizing_core(self):
+        case = generate_chaos_case(3, 0, "corrupt")
+        assert case.protocol == "stabilizing"
+        assert any(f["op"] == "corrupt" for f in case.faults)
+
+    def test_corrupt_scenario_converges(self):
+        case = ChaosCase(
+            seed=5, profile="corrupt", n=4, delay=0.01, loss_rate=0.0,
+            recovery_window=8.0, protocol="stabilizing",
+            requests=[(0.5, 1), (1.5, 3), (3.0, 2)],
+            faults=[{"t": 1.0, "op": "corrupt", "a": 2,
+                     "what": "duplicate_token", "arg": 11},
+                    {"t": 2.0, "op": "corrupt", "a": 0,
+                     "what": "scramble_stamp", "arg": 4}],
+            horizon=12.0, label="handmade-corrupt").validate()
+        result = run_chaos_case(case)
+        assert result.ok, (result.violation, result.unrecovered)
+        assert result.grants == 3
+        assert result.violation is None
+
+    def test_corrupt_fault_demands_the_stabilizing_protocol(self):
+        with pytest.raises(ConfigError):
+            ChaosCase(
+                seed=5, profile="corrupt", n=4, delay=0.01, loss_rate=0.0,
+                recovery_window=8.0, protocol="fault_tolerant",
+                requests=[(0.5, 1)],
+                faults=[{"t": 1.0, "op": "corrupt", "a": 2,
+                         "what": "duplicate_token", "arg": 11}],
+                horizon=10.0, label="bad").validate()
+
+    def test_unknown_corruption_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosCase(
+                seed=5, profile="corrupt", n=4, delay=0.01, loss_rate=0.0,
+                recovery_window=8.0, protocol="stabilizing",
+                requests=[(0.5, 1)],
+                faults=[{"t": 1.0, "op": "corrupt", "a": 2,
+                         "what": "bit_rot", "arg": 11}],
+                horizon=10.0, label="bad").validate()
+
+
+class TestWireValidation:
+    def test_corrupt_fault_accepted_on_stabilizing(self):
+        _validate_faults(
+            [{"t": 1.0, "op": "corrupt", "a": 0,
+              "what": "delete_token", "arg": 3}],
+            n=3, protocol="stabilizing")
+
+    def test_corrupt_fault_rejected_elsewhere(self):
+        with pytest.raises(ConfigError):
+            _validate_faults(
+                [{"t": 1.0, "op": "corrupt", "a": 0,
+                  "what": "delete_token", "arg": 3}],
+                n=3, protocol="fault_tolerant")
+
+    def test_bad_victim_rejected(self):
+        with pytest.raises(ConfigError):
+            _validate_faults(
+                [{"t": 1.0, "op": "corrupt", "a": 9,
+                  "what": "delete_token", "arg": 3}],
+                n=3, protocol="stabilizing")
